@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the Cornell box, save the answer, render two views.
+
+This walks the full Photon pipeline of the paper (Figure 4.9): a Monte
+Carlo light-transport *simulation* stage that builds the 4-D histogram
+answer, then a cheap single-bounce *viewing* stage that can be repeated
+from any viewpoint without re-simulating (Figure 4.10).
+
+Run:
+    python examples/quickstart.py [--photons 20000] [--out-dir .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.core import (
+    Camera,
+    PhotonSimulator,
+    RadianceField,
+    SimulationConfig,
+    load_answer,
+    save_answer,
+)
+from repro.core.viewing import render
+from repro.geometry import Vec3
+from repro.image import save_radiance_ppm
+from repro.scenes import CORNELL_DEFAULT_CAMERA, cornell_box
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--photons", type=int, default=20_000)
+    parser.add_argument("--out-dir", type=Path, default=Path("."))
+    parser.add_argument("--width", type=int, default=160)
+    parser.add_argument("--height", type=int, default=120)
+    args = parser.parse_args()
+
+    scene = cornell_box()
+    print(f"scene: {scene.name} — {scene.defining_polygon_count} defining polygons")
+
+    # --- Simulation stage -------------------------------------------------
+    t0 = time.perf_counter()
+    result = PhotonSimulator(scene, SimulationConfig(n_photons=args.photons)).run()
+    dt = time.perf_counter() - t0
+    print(
+        f"simulated {args.photons:,} photons in {dt:.1f}s "
+        f"({args.photons / dt:,.0f} photons/s)"
+    )
+    print(
+        f"answer: {result.forest.leaf_count:,} view-dependent bins, "
+        f"{result.forest.total_tallies:,} tallies, "
+        f"{result.forest.memory_bytes() / 1024:.0f} KB, "
+        f"mean bounces {result.stats.mean_bounces:.2f}"
+    )
+    result.forest.check_invariants()
+
+    answer_path = args.out_dir / "cornell.answer.json"
+    save_answer(result.forest, answer_path)
+    print(f"answer file written: {answer_path}")
+
+    # --- Viewing stage (twice, same answer file) --------------------------
+    forest = load_answer(answer_path)
+    field = RadianceField(scene, forest)
+
+    views = {
+        "cornell_front.ppm": Camera(
+            width=args.width, height=args.height, **CORNELL_DEFAULT_CAMERA
+        ),
+        "cornell_left.ppm": Camera(
+            position=Vec3(0.35, 1.5, 3.7),
+            look_at=Vec3(1.3, 0.7, 0.4),
+            width=args.width,
+            height=args.height,
+            vertical_fov_degrees=42.0,
+        ),
+    }
+    for name, camera in views.items():
+        t0 = time.perf_counter()
+        image = render(scene, field, camera)
+        out = args.out_dir / name
+        save_radiance_ppm(image, out)
+        print(f"rendered {out} in {time.perf_counter() - t0:.1f}s (no re-simulation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can use the legacy ``setup.py develop`` code path in
+environments (like the offline reproduction container) where the
+``wheel`` package needed for PEP 517 editable installs is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,192 @@
+"""Command-line interface: the simulate/view split as shell commands.
+
+The paper's architecture separates the simulation program from the
+viewing program, communicating through an answer file; the CLI exposes
+exactly that workflow::
+
+    python -m repro scenes
+    python -m repro simulate cornell-box --photons 50000 --out cornell.answer.json
+    python -m repro view cornell-box cornell.answer.json --out cornell.ppm
+    python -m repro trace cornell-box --platform sp2 --ranks 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .cluster import platform_by_name, profile_scene, trace_family
+from .core import (
+    Camera,
+    PhotonSimulator,
+    RadianceField,
+    SimulationConfig,
+    SplitPolicy,
+    load_answer,
+    save_answer,
+)
+from .core.viewing import render
+from .geometry import Vec3
+from .image import save_radiance_ppm
+from .perf import ascii_traces, format_table, speedup_table
+from .scenes import (
+    CORNELL_DEFAULT_CAMERA,
+    HARPSICHORD_DEFAULT_CAMERA,
+    LAB_DEFAULT_CAMERA,
+    build_scene,
+    scene_registry,
+)
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_CAMERAS = {
+    "cornell-box": CORNELL_DEFAULT_CAMERA,
+    "harpsichord-room": HARPSICHORD_DEFAULT_CAMERA,
+    "computer-lab": LAB_DEFAULT_CAMERA,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Photon global illumination (Snell 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list the registered test scenes")
+
+    p_sim = sub.add_parser("simulate", help="run the Photon simulation stage")
+    p_sim.add_argument("scene", help="registered scene name")
+    p_sim.add_argument("--photons", type=int, default=20_000)
+    p_sim.add_argument("--seed", type=lambda v: int(v, 0), default=0x1234ABCD330E)
+    p_sim.add_argument("--sigma", type=float, default=3.0, help="bin split threshold")
+    p_sim.add_argument("--out", type=Path, required=True, help="answer file path")
+
+    p_view = sub.add_parser("view", help="render a viewpoint from an answer file")
+    p_view.add_argument("scene", help="scene the answer was computed for")
+    p_view.add_argument("answer", type=Path, help="answer file from `simulate`")
+    p_view.add_argument("--out", type=Path, required=True, help="PPM output path")
+    p_view.add_argument("--width", type=int, default=320)
+    p_view.add_argument("--height", type=int, default=240)
+    p_view.add_argument("--eye", type=float, nargs=3, metavar=("X", "Y", "Z"))
+    p_view.add_argument("--look-at", type=float, nargs=3, metavar=("X", "Y", "Z"))
+    p_view.add_argument("--fov", type=float, default=None)
+
+    p_trace = sub.add_parser(
+        "trace", help="print a platform model's speed trace for a scene"
+    )
+    p_trace.add_argument("scene")
+    p_trace.add_argument(
+        "--platform", default="sp2", help="power-onyx | indy-cluster | sp2"
+    )
+    p_trace.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_trace.add_argument("--duration", type=float, default=320.0)
+    p_trace.add_argument("--read-at", type=float, default=250.0)
+
+    return parser
+
+
+def _cmd_scenes(out) -> int:
+    rows = []
+    for name, builder in scene_registry().items():
+        scene = builder()
+        rows.append(
+            [name, scene.defining_polygon_count, len(scene.luminaires)]
+        )
+    print(format_table(["scene", "defining polygons", "luminaires"], rows), file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    scene = build_scene(args.scene)
+    config = SimulationConfig(
+        n_photons=args.photons,
+        seed=args.seed,
+        policy=SplitPolicy(threshold=args.sigma),
+    )
+    t0 = time.perf_counter()
+    result = PhotonSimulator(scene, config).run()
+    dt = time.perf_counter() - t0
+    result.forest.check_invariants()
+    save_answer(result.forest, args.out)
+    print(
+        f"{args.photons:,} photons in {dt:.1f}s "
+        f"({args.photons / max(dt, 1e-9):,.0f}/s); "
+        f"{result.forest.leaf_count:,} bins; "
+        f"answer -> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_view(args, out) -> int:
+    scene = build_scene(args.scene)
+    forest = load_answer(args.answer)
+    field = RadianceField(scene, forest)
+    defaults = _DEFAULT_CAMERAS.get(args.scene, {})
+    position = (
+        Vec3(*args.eye) if args.eye else defaults.get("position", Vec3(0, 1, 3))
+    )
+    look_at = (
+        Vec3(*args.look_at)
+        if args.look_at
+        else defaults.get("look_at", Vec3(0, 1, 0))
+    )
+    fov = args.fov if args.fov is not None else defaults.get(
+        "vertical_fov_degrees", 55.0
+    )
+    camera = Camera(
+        position=position,
+        look_at=look_at,
+        vertical_fov_degrees=fov,
+        width=args.width,
+        height=args.height,
+    )
+    t0 = time.perf_counter()
+    image = render(scene, field, camera)
+    save_radiance_ppm(image, args.out)
+    print(
+        f"rendered {args.width}x{args.height} in "
+        f"{time.perf_counter() - t0:.1f}s -> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    machine = platform_by_name(args.platform)
+    scene = build_scene(args.scene)
+    profile = profile_scene(scene, photons=250)
+    family = trace_family(
+        machine, profile, sorted(set(args.ranks)), duration_s=args.duration
+    )
+    print(ascii_traces(family, title=f"{machine.name} / {scene.name}"), file=out)
+    if 1 in family:
+        table = speedup_table(family, at_time=args.read_at)
+        print(
+            format_table(
+                ["processors", f"speedup@{args.read_at:.0f}s"],
+                [[r, f"{s:.2f}"] for r, s in sorted(table.speedups.items())],
+            ),
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "scenes":
+        return _cmd_scenes(out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "view":
+        return _cmd_view(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,22 @@
+"""Simulated evaluation platforms: machine cost models and speed traces."""
+
+from .machine import MachineSpec, PER_EVENT_BYTES
+from .platforms import INDY_CLUSTER, PLATFORMS, POWER_ONYX, SP2, platform_by_name
+from .runner import SpeedSample, SpeedTrace, simulate_trace, trace_family
+from .workload import SceneProfile, profile_scene
+
+__all__ = [
+    "INDY_CLUSTER",
+    "MachineSpec",
+    "PER_EVENT_BYTES",
+    "PLATFORMS",
+    "POWER_ONYX",
+    "SP2",
+    "SceneProfile",
+    "SpeedSample",
+    "SpeedTrace",
+    "platform_by_name",
+    "profile_scene",
+    "simulate_trace",
+    "trace_family",
+]

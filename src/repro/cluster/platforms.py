@@ -1,0 +1,98 @@
+"""The three evaluation platforms of chapter 5, as cost models.
+
+Parameter values are chosen to land in the era-plausible range (MPI
+latencies and bandwidths from mid-90s literature) *and* to reproduce the
+qualitative features each platform contributes to the figures:
+
+* **SGI Power Onyx** (Figs. 5.6-5.8) — 8-way shared memory; highest
+  absolute rate; contention limits small scenes ("for small geometries,
+  using more than two processors is a waste").
+* **SGI Indy cluster** (Figs. 5.9-5.11) — 8 workstations on 10 Mbit
+  Ethernet; slow network shifts the first data point right and costs
+  absolute performance, but removing memory contention improves
+  scalability; per-node caches give the superlinear 2-processor result
+  on the Harpsichord room.
+* **IBM SP-2** (Figs. 5.12-5.14) — 64 nodes on a fast switch whose
+  asynchronous messaging must be buffered: the copy overhead is hidden
+  at 2 nodes (one message per batch overlaps with compute) but not
+  beyond, producing the 2 -> 4 processor performance dip, after which
+  scaling is good.
+
+Absolute seconds are *era-simulated*, not this container's wall clock;
+EXPERIMENTS.md records shape comparisons only.
+"""
+
+from __future__ import annotations
+
+from .machine import MachineSpec
+
+__all__ = ["POWER_ONYX", "INDY_CLUSTER", "SP2", "PLATFORMS", "platform_by_name"]
+
+POWER_ONYX = MachineSpec(
+    name="SGI Power Onyx",
+    kind="shared",
+    max_ranks=8,
+    # Serial Cornell rate ~6000 photons/s; Fig 5.6's 8-processor plateau
+    # is ~4x that, capped by contention (right-axis speedup ~2 for the
+    # mirror-heavy box).
+    seconds_per_work_unit=1.8e-6,
+    contention_coeff=6.4,
+    startup_s_per_rank=0.005,
+    cache_bytes=4e6,
+    cache_bonus=1.0,  # shared L2 — no per-rank cache win
+)
+
+INDY_CLUSTER = MachineSpec(
+    name="SGI Indy cluster",
+    kind="distributed",
+    max_ranks=8,
+    # Indy R4600s are slower than Onyx R10000s.
+    seconds_per_work_unit=3.5e-6,
+    latency_s=1.2e-3,  # TCP over 10 Mbit Ethernet
+    bandwidth_bytes_s=1.1e6,
+    copy_s_per_byte=0.0,  # sockets already copy; nothing extra to expose
+    copy_hidden_ranks=8,
+    congestion_buffer_bytes=32768.0,  # TCP socket buffers
+    startup_s_per_rank=0.35,  # rsh launch + geometry replication
+    cache_bytes=4.0e5,  # per-node cache sized so the Harpsichord forest
+    cache_bonus=1.5,  # just fits at 2 nodes: the superlinear result
+)
+
+SP2 = MachineSpec(
+    name="IBM SP-2",
+    kind="distributed",
+    max_ranks=64,
+    seconds_per_work_unit=2.2e-6,
+    latency_s=4.0e-5,  # high-performance switch, MPL
+    bandwidth_bytes_s=3.4e7,
+    # Buffered asynchronous messaging: per-byte buffer management +
+    # memory copies that overlap with compute only at 2 nodes.  The
+    # magnitude is calibrated to the published 2 -> 4 processor dip
+    # (roughly 40-50 % of compute), not to a raw memcpy rate.
+    copy_s_per_byte=4.0e-7,
+    copy_hidden_ranks=2,
+    congestion_buffer_bytes=32768.0,  # MPL buffer pool
+    startup_s_per_rank=0.08,
+    cache_bytes=2e6,
+    cache_bonus=1.0,
+)
+
+PLATFORMS = {
+    "power-onyx": POWER_ONYX,
+    "indy-cluster": INDY_CLUSTER,
+    "sp2": SP2,
+}
+
+
+def platform_by_name(name: str) -> MachineSpec:
+    """Look up a platform model by registry name.
+
+    Raises:
+        KeyError: for unknown names, listing the valid ones.
+    """
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; valid names: {sorted(PLATFORMS)}"
+        ) from None

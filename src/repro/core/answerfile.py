@@ -1,0 +1,139 @@
+"""Answer-file persistence (Figure 4.10: "the same answer file").
+
+The simulation and viewing stages are separate programs in the paper's
+architecture; the bin forest travels between them as an *answer file*.
+We serialise to a self-describing JSON document: portable, diffable in
+tests, and free of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .binning import BinNode
+from .bintree import BinForest, BinTree, SplitPolicy
+
+__all__ = ["save_answer", "load_answer", "forest_to_dict", "forest_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def _node_to_obj(node: BinNode) -> Any:
+    if node.is_leaf:
+        return {
+            "c": list(node.counts),
+            "n": node.total,
+            "l": list(node.low_counts),
+        }
+    return {
+        "x": node.split_axis,
+        "c": list(node.counts),
+        "n": node.total,
+        "lo": _node_to_obj(node.low_child),
+        "hi": _node_to_obj(node.high_child),
+    }
+
+
+def _node_from_obj(
+    obj: Any,
+    lo: tuple[float, float, float, float],
+    hi: tuple[float, float, float, float],
+    depth: int,
+    path: tuple[tuple[int, int], ...],
+) -> BinNode:
+    node = BinNode(lo, hi, depth, path)
+    node.counts = [int(v) for v in obj["c"]]
+    node.total = int(obj["n"])
+    if "x" in obj:
+        axis = int(obj["x"])
+        mid = 0.5 * (lo[axis] + hi[axis])
+        lo_hi = tuple(mid if i == axis else hi[i] for i in range(4))
+        hi_lo = tuple(mid if i == axis else lo[i] for i in range(4))
+        node.split_axis = axis
+        node.low_child = _node_from_obj(
+            obj["lo"], lo, lo_hi, depth + 1, path + ((axis, 0),)
+        )
+        node.high_child = _node_from_obj(
+            obj["hi"], hi_lo, hi, depth + 1, path + ((axis, 1),)
+        )
+    else:
+        node.low_counts = [int(v) for v in obj["l"]]
+    return node
+
+
+def _count_nodes(node: BinNode) -> tuple[int, int]:
+    """(node_count, leaf_count) of a subtree."""
+    if node.is_leaf:
+        return 1, 1
+    ln, ll = _count_nodes(node.low_child)  # type: ignore[arg-type]
+    hn, hl = _count_nodes(node.high_child)  # type: ignore[arg-type]
+    return ln + hn + 1, ll + hl
+
+
+def forest_to_dict(forest: BinForest) -> dict:
+    """Serialisable representation of a forest."""
+    return {
+        "format": FORMAT_VERSION,
+        "policy": {
+            "threshold": forest.policy.threshold,
+            "min_count": forest.policy.min_count,
+            "max_depth": forest.policy.max_depth,
+            "max_leaves": forest.policy.max_leaves,
+        },
+        "photons_emitted": forest.photons_emitted,
+        "band_emitted": list(forest.band_emitted),
+        "total_tallies": forest.total_tallies,
+        "band_tallies": list(forest.band_tallies),
+        "trees": {
+            str(key): {
+                "lo": list(tree.root.lo),
+                "hi": list(tree.root.hi),
+                "root": _node_to_obj(tree.root),
+            }
+            for key, tree in forest.trees.items()
+        },
+    }
+
+
+def forest_from_dict(data: dict) -> BinForest:
+    """Reconstruct a forest from :func:`forest_to_dict` output.
+
+    Raises:
+        ValueError: on unknown format versions or malformed documents.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported answer-file format: {data.get('format')!r}")
+    pol = data["policy"]
+    policy = SplitPolicy(
+        threshold=pol["threshold"],
+        min_count=pol["min_count"],
+        max_depth=pol["max_depth"],
+        max_leaves=pol["max_leaves"],
+    )
+    forest = BinForest(policy)
+    forest.photons_emitted = int(data["photons_emitted"])
+    forest.band_emitted = [int(v) for v in data["band_emitted"]]
+    forest.total_tallies = int(data["total_tallies"])
+    forest.band_tallies = [int(v) for v in data["band_tallies"]]
+    for key_str, entry in data["trees"].items():
+        key = int(key_str)
+        root_lo = tuple(float(v) for v in entry["lo"])
+        root_hi = tuple(float(v) for v in entry["hi"])
+        tree = BinTree(key, policy, root_lo, root_hi)
+        tree.root = _node_from_obj(entry["root"], root_lo, root_hi, 0, ())
+        tree.node_count, tree.leaf_count = _count_nodes(tree.root)
+        tree.splits = (tree.node_count - 1) // 2
+        forest.trees[key] = tree
+    return forest
+
+
+def save_answer(forest: BinForest, path: str | Path) -> None:
+    """Write the forest to *path* as JSON."""
+    Path(path).write_text(json.dumps(forest_to_dict(forest)))
+
+
+def load_answer(path: str | Path) -> BinForest:
+    """Read a forest previously written by :func:`save_answer`."""
+    return forest_from_dict(json.loads(Path(path).read_text()))

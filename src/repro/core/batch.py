@@ -1,0 +1,110 @@
+"""Adaptive simulation batch sizing (Table 5.3).
+
+"Photon attempts to match batch size to communication medium ... Batch
+size starts with just 500 photons per processor and grows as long as
+overall speed is increased.  When a decrease in simulation speed is
+detected, the batch size is reduced."
+
+The dissertation's prose says 15 percent, but every shrink step in
+Table 5.3 is a 10 percent cut (1687 -> 1518, 1125 -> 1012, 1365 -> 1228);
+we default to the 10 % the published data actually shows and expose the
+factor for the ablation bench.  Growth between successive sizes in the
+table is x1.5 (500, 750, 1125, 1687, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdaptiveBatchController", "BatchDecision"]
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One step of the controller's trajectory (a Table 5.3 row)."""
+
+    batch_size: int
+    speed: float
+    action: str  # 'init', 'grow', 'shrink', 'hold'
+
+
+@dataclass
+class AdaptiveBatchController:
+    """Hill-climbing batch-size controller.
+
+    Args:
+        initial: Starting photons per processor per batch (paper: 500).
+        growth: Multiplicative growth while speed improves (paper: 1.5).
+        shrink: Fractional cut on a detected slowdown (Table 5.3: 0.10).
+        floor: Batch size never drops below this.
+        tolerance: Relative slowdown below which speeds count as equal —
+            hysteresis so measurement jitter (or float rounding in the
+            simulated platforms) does not trigger spurious shrinks.
+
+    Usage: call :meth:`next_size` before each batch, run the batch, then
+    report the measured rate with :meth:`observe`.
+    """
+
+    initial: int = 500
+    growth: float = 1.5
+    shrink: float = 0.10
+    floor: int = 100
+    tolerance: float = 1e-3
+
+    _current: int = field(init=False)
+    _last_speed: float = field(init=False, default=-1.0)
+    _growing: bool = field(init=False, default=True)
+    history: list[BatchDecision] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.initial < 1:
+            raise ValueError("initial batch size must be positive")
+        if self.growth <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+        if not 0.0 < self.shrink < 1.0:
+            raise ValueError("shrink fraction must be in (0, 1)")
+        self._current = self.initial
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def next_size(self) -> int:
+        """Batch size to use for the next simulation phase."""
+        return self._current
+
+    def observe(self, speed: float) -> BatchDecision:
+        """Report the photons-per-second achieved with the current size.
+
+        Returns the decision applied, which also lands in :attr:`history`
+        (the sequence the Table 5.3 bench prints).
+        """
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        if self._last_speed < 0:
+            action = "init"
+            decision = BatchDecision(self._current, speed, action)
+            self._current = max(int(round(self._current * self.growth)), self.floor)
+        elif speed >= self._last_speed * (1.0 - self.tolerance):
+            action = "grow" if self._growing else "hold"
+            decision = BatchDecision(self._current, speed, action)
+            if self._growing:
+                self._current = max(
+                    int(round(self._current * self.growth)), self.floor
+                )
+        else:
+            action = "shrink"
+            decision = BatchDecision(self._current, speed, action)
+            self._current = max(
+                int(round(self._current * (1.0 - self.shrink))), self.floor
+            )
+            # After overshooting, stop compounding growth: oscillate gently
+            # around the optimum as the published sequences do.
+            self._growing = False
+        self._last_speed = speed
+        self.history.append(decision)
+        return decision
+
+    def sizes_used(self) -> list[int]:
+        """The sequence of batch sizes exercised so far (a Table 5.3 column)."""
+        return [d.batch_size for d in self.history]

@@ -1,0 +1,273 @@
+"""Per-patch bin trees and the scene-wide bin forest (Figure 4.6).
+
+"For each geometrical primitive, a bin tree is maintained to record
+photon counts.  The result is a forest of bin trees."  The forest *is*
+the global illumination answer: a discrete representation of the radiance
+``L`` for every surface point and direction.
+
+Splitting policy lives here (threshold/min-count/max-depth), tallying and
+axis selection in :mod:`repro.core.binning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..montecarlo.stats import DEFAULT_MIN_COUNT, DEFAULT_SPLIT_THRESHOLD
+from .binning import NUM_AXES, TWO_PI, BinCoords, BinNode
+from .photon import NUM_BANDS
+
+__all__ = ["SplitPolicy", "BinTree", "BinForest", "NODE_BYTES"]
+
+#: Approximate C-struct footprint of one bin node, used for the Figure 5.4
+#: memory-growth reproduction: 8 region floats + 3 band counts + total +
+#: 4 speculative counts + axis/child pointers ~= 8*8 + 8*4 + 3*8 = 120.
+NODE_BYTES = 120
+
+
+@dataclass(frozen=True)
+class SplitPolicy:
+    """When and how eagerly bins subdivide.
+
+    Attributes:
+        threshold: Standard-deviation criterion (the paper's 3-sigma).
+        min_count: Tallies required before a leaf may split.
+        max_depth: Hard refinement cap per tree.
+        max_leaves: Optional global leaf budget per tree; refinement stops
+            silently at the cap (storage economy argument of chapter 3).
+    """
+
+    threshold: float = DEFAULT_SPLIT_THRESHOLD
+    min_count: int = DEFAULT_MIN_COUNT
+    max_depth: int = 24
+    max_leaves: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.min_count < 2:
+            raise ValueError("min_count must be at least 2")
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if self.max_leaves is not None and self.max_leaves < 1:
+            raise ValueError("max_leaves must be positive when given")
+
+
+_ROOT_LO = (0.0, 0.0, 0.0, 0.0)
+_ROOT_HI = (1.0, 1.0, TWO_PI, 1.0)
+
+
+class BinTree:
+    """The 4-D adaptive histogram of one patch (or one ownership unit).
+
+    Serial runs key trees by patch id with the full domain as the root;
+    the distributed algorithm keys them by ownership unit, whose root is
+    the unit's sub-region of the patch domain (see
+    :class:`repro.parallel.loadbalance.OwnershipMap`).
+    """
+
+    __slots__ = ("patch_id", "root", "policy", "leaf_count", "node_count", "splits")
+
+    def __init__(
+        self,
+        patch_id,
+        policy: SplitPolicy,
+        root_lo: tuple[float, float, float, float] = _ROOT_LO,
+        root_hi: tuple[float, float, float, float] = _ROOT_HI,
+    ) -> None:
+        self.patch_id = patch_id
+        self.policy = policy
+        self.root = BinNode(root_lo, root_hi)
+        self.leaf_count = 1
+        self.node_count = 1
+        self.splits = 0
+
+    # -- tallying -------------------------------------------------------------
+
+    def find_leaf(self, coords: BinCoords) -> BinNode:
+        """Descend to the leaf containing *coords*."""
+        node = self.root
+        while not node.is_leaf:
+            node = node.child_for(coords)
+        return node
+
+    def tally(self, coords: BinCoords, band: int) -> BinNode:
+        """Record a photon departure; split the leaf if warranted.
+
+        Interior nodes keep *live* aggregates: every node on the descent
+        path has its total and band counts incremented, so subtree sums
+        are O(1) and ``root.total == sum(leaf totals)`` is an invariant
+        the tests enforce.
+
+        Returns the leaf that received the tally (before any split), so
+        callers — the shared-memory variant locks exactly this node — can
+        reason about what was touched.
+        """
+        node = self.root
+        while not node.is_leaf:
+            node.total += 1
+            node.counts[band] += 1
+            node = node.child_for(coords)
+        node.tally(coords, band)
+        self._maybe_split(node)
+        return node
+
+    def _maybe_split(self, leaf: BinNode) -> None:
+        policy = self.policy
+        if leaf.total < policy.min_count or leaf.depth >= policy.max_depth:
+            return
+        if policy.max_leaves is not None and self.leaf_count >= policy.max_leaves:
+            return
+        axis, stat = leaf.best_split_axis()
+        if stat > policy.threshold:
+            leaf.split(axis)
+            self.leaf_count += 1
+            self.node_count += 2
+            self.splits += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def leaves(self) -> Iterator[BinNode]:
+        """Iterate over all leaf bins."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.append(node.low_child)  # type: ignore[arg-type]
+                stack.append(node.high_child)  # type: ignore[arg-type]
+
+    def total_tallies(self) -> int:
+        """All-band tallies recorded in this tree."""
+        return self.root.total
+
+    def leaf_total_sum(self) -> int:
+        """Sum of leaf totals — must equal :meth:`total_tallies`."""
+        return sum(leaf.total for leaf in self.leaves())
+
+    def memory_bytes(self) -> int:
+        """Estimated C-struct footprint (Fig. 5.4 accounting)."""
+        return self.node_count * NODE_BYTES
+
+    def max_depth_reached(self) -> int:
+        """Deepest leaf level in this tree."""
+        return max((leaf.depth for leaf in self.leaves()), default=0)
+
+    def node_by_path(self, path: tuple[tuple[int, int], ...]) -> BinNode:
+        """Resolve a (axis, side) path to its node.
+
+        Raises:
+            KeyError: when the path walks off the tree (e.g. the local
+                tree has not split where the remote one had).
+        """
+        node = self.root
+        for axis, side in path:
+            if node.is_leaf or node.split_axis != axis:
+                raise KeyError(f"path {path} not present in tree {self.patch_id}")
+            node = node.low_child if side == 0 else node.high_child  # type: ignore[assignment]
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"BinTree(patch={self.patch_id}, leaves={self.leaf_count}, "
+            f"tallies={self.root.total})"
+        )
+
+
+class BinForest:
+    """All bin trees of a scene plus global tally bookkeeping.
+
+    Trees are created lazily on first tally, so an unlit patch costs no
+    storage — part of why the forest stays one to two orders of magnitude
+    smaller than the Density Estimation hit-point files.
+    """
+
+    def __init__(self, policy: Optional[SplitPolicy] = None) -> None:
+        self.policy = policy or SplitPolicy()
+        # Keyed by patch id (serial) or ownership-unit id (distributed).
+        self.trees: dict = {}
+        self.total_tallies = 0
+        self.band_tallies = [0] * NUM_BANDS
+        #: Photons *emitted* into the simulation that produced this forest;
+        #: set by the simulator and required for radiance normalisation.
+        self.photons_emitted = 0
+        self.band_emitted = [0] * NUM_BANDS
+
+    def tree(
+        self,
+        key,
+        root_lo: tuple[float, float, float, float] = _ROOT_LO,
+        root_hi: tuple[float, float, float, float] = _ROOT_HI,
+    ) -> BinTree:
+        """The (lazily created) tree for *key*.
+
+        *key* is a patch id in serial runs and an ownership-unit id in
+        distributed runs; the root domain arguments only matter on first
+        creation.
+        """
+        tree = self.trees.get(key)
+        if tree is None:
+            tree = BinTree(key, self.policy, root_lo, root_hi)
+            self.trees[key] = tree
+        return tree
+
+    def tally(self, key, coords: BinCoords, band: int) -> BinNode:
+        """Tally into tree *key*, updating forest-wide counters."""
+        leaf = self.tree(key).tally(coords, band)
+        self.total_tallies += 1
+        self.band_tallies[band] += 1
+        return leaf
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    @property
+    def tree_count(self) -> int:
+        return len(self.trees)
+
+    @property
+    def leaf_count(self) -> int:
+        """Total leaves — the paper's "view-dependent polygon" count."""
+        return sum(tree.leaf_count for tree in self.trees.values())
+
+    @property
+    def node_count(self) -> int:
+        return sum(tree.node_count for tree in self.trees.values())
+
+    def memory_bytes(self) -> int:
+        """Total estimated footprint across all trees."""
+        return sum(tree.memory_bytes() for tree in self.trees.values())
+
+    def tallies_per_patch(self) -> dict[int, int]:
+        """Tree key -> total tallies (load-balance diagnostics)."""
+        return {pid: tree.root.total for pid, tree in self.trees.items()}
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants every tally must preserve.
+
+        Raises:
+            AssertionError: on any violation (used heavily in tests and
+                cheap enough to call in examples).
+        """
+        total = 0
+        for tree in self.trees.values():
+            leaf_sum = tree.leaf_total_sum()
+            if leaf_sum != tree.root.total:
+                raise AssertionError(
+                    f"tree {tree.patch_id}: leaf sum {leaf_sum} != root total "
+                    f"{tree.root.total}"
+                )
+            total += tree.root.total
+        if total != self.total_tallies:
+            raise AssertionError(
+                f"forest total {self.total_tallies} != sum of trees {total}"
+            )
+        if sum(self.band_tallies) != self.total_tallies:
+            raise AssertionError("band tallies do not sum to the forest total")
+
+    def __repr__(self) -> str:
+        return (
+            f"BinForest({self.tree_count} trees, {self.leaf_count} leaves, "
+            f"{self.total_tallies} tallies)"
+        )

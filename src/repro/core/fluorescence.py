@@ -1,0 +1,129 @@
+"""Fluorescence extension (chapter 6 future work).
+
+"We foresee the ability to add fluorescence."  Because Photon simulates
+quantum light transport — each photon is a monochromatic energy packet —
+fluorescence is a natural extension: on contact with a fluorescent
+surface, an absorbed short-wavelength photon may be re-emitted in a
+longer-wavelength band (a Stokes shift; energy only ever moves *down*
+the spectrum, blue -> green -> red).
+
+The implementation wraps the standard reflection step: the roulette
+first decides ordinary reflection as usual; if the photon would be
+absorbed, the fluorescence matrix gives it a second chance in a lower
+band, re-emitted diffusely (fluorescent emission is isotropic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geometry.polygon import Hit
+from ..geometry.vec import Vec3, orthonormal_basis
+from ..rng import Lcg48
+from .generation import direction_rejection
+from .photon import NUM_BANDS, Photon
+from .reflection import ReflectionResult, local_frame_coords, reflect
+
+__all__ = ["FluorescenceSpec", "fluorescent_reflect"]
+
+#: Band energy ordering: index 2 (blue) is the most energetic, 0 (red)
+#: the least; a Stokes shift can only move a photon to a *lower* index.
+_BAND_ENERGY_ORDER = (2, 1, 0)  # blue > green > red
+
+
+@dataclass(frozen=True)
+class FluorescenceSpec:
+    """Down-conversion probabilities of a fluorescent coating.
+
+    Attributes:
+        conversion: ``conversion[from_band][to_band]`` — probability that
+            a band-``from_band`` photon which would otherwise be absorbed
+            is re-emitted in ``to_band``.  Rows must sum to at most 1
+            (the remainder stays absorbed) and may only populate strictly
+            lower-energy targets (no up-conversion).
+    """
+
+    conversion: tuple[tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.conversion) != NUM_BANDS:
+            raise ValueError("conversion needs one row per band")
+        energy_rank = {band: i for i, band in enumerate(_BAND_ENERGY_ORDER)}
+        for src in range(NUM_BANDS):
+            row = self.conversion[src]
+            if len(row) != NUM_BANDS:
+                raise ValueError("conversion rows must have 3 entries")
+            if any(p < 0.0 for p in row):
+                raise ValueError("conversion probabilities must be >= 0")
+            if sum(row) > 1.0 + 1e-12:
+                raise ValueError(f"band {src} converts more than it absorbs")
+            for dst in range(NUM_BANDS):
+                if row[dst] > 0.0 and energy_rank[dst] <= energy_rank[src]:
+                    raise ValueError(
+                        f"up-conversion {src} -> {dst} violates the Stokes shift"
+                    )
+
+    @classmethod
+    def simple(cls, blue_to_green: float = 0.0, green_to_red: float = 0.0,
+               blue_to_red: float = 0.0) -> "FluorescenceSpec":
+        """Convenience constructor for the common down-shift chains."""
+        return cls(
+            (
+                (0.0, 0.0, 0.0),  # red converts to nothing lower
+                (green_to_red, 0.0, 0.0),
+                (blue_to_red, blue_to_green, 0.0),
+            )
+        )
+
+    def probability(self, src: int, dst: int) -> float:
+        """Conversion probability from band *src* to band *dst*."""
+        return self.conversion[src][dst]
+
+
+def fluorescent_reflect(
+    photon: Photon,
+    hit: Hit,
+    rng: Lcg48,
+    spec: FluorescenceSpec,
+) -> Optional[ReflectionResult]:
+    """Reflection step with a fluorescence second chance.
+
+    Ordinary reflection is attempted first (identical stream consumption
+    to :func:`repro.core.reflection.reflect`); if the photon is
+    absorbed, the conversion row for its band may re-emit it diffusely
+    in a lower band — in which case ``photon.band`` is *changed in
+    place* (the tally that follows must use the new band, which is how
+    a fluorescent surface glows in a band its illumination lacked).
+    """
+    result = reflect(photon, hit, rng)
+    if result is not None:
+        return result
+
+    row = spec.conversion[photon.band]
+    total = sum(row)
+    if total <= 0.0:
+        return None
+    u = rng.uniform()
+    acc = 0.0
+    target: Optional[int] = None
+    for dst in range(NUM_BANDS):
+        acc += row[dst]
+        if u < acc:
+            target = dst
+            break
+    if target is None:
+        return None  # stayed absorbed
+
+    # Re-emit diffusely in the new band.
+    photon.band = target
+    normal = hit.shading_normal()
+    lx, ly, lz = direction_rejection(rng)
+    t1, t2 = orthonormal_basis(normal)
+    direction = Vec3(
+        lx * t1.x + ly * t2.x + lz * normal.x,
+        lx * t1.y + ly * t2.y + lz * normal.y,
+        lx * t1.z + ly * t2.z + lz * normal.z,
+    )
+    theta, r_squared = local_frame_coords(direction, hit.patch)
+    return ReflectionResult(direction, theta, r_squared, "fluorescent")

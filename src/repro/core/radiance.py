@@ -1,0 +1,158 @@
+"""Radiance queries against a bin forest.
+
+The forest stores photon *counts*; this module converts them to radiance
+estimates.  Under the Nusselt parameterisation each leaf's measure is
+
+    area measure            = patch.area * d(s) * d(t)
+    projected solid angle   = 0.5 * d(theta) * d(r^2)
+
+and a band-b photon represents ``band_power[b] / band_emitted[b]`` watts,
+so the leaf's radiance estimate is
+
+    L_b = count_b * power_per_photon_b / (area measure * proj. solid angle)
+
+which converges to the true radiance as bins shrink — the convergence
+argument of chapter 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.scene import Scene
+from ..geometry.vec import Vec3
+from .binning import BinCoords, TWO_PI
+from .bintree import BinForest
+from .photon import NUM_BANDS
+from .reflection import local_frame_coords
+
+__all__ = ["RadianceField", "RadianceSample"]
+
+
+@dataclass(frozen=True)
+class RadianceSample:
+    """A per-band radiance estimate with provenance.
+
+    Attributes:
+        rgb: Radiance per band (W / (m^2 * sr), scene units).
+        counts: Raw photon tallies in the resolved leaf.
+        leaf_total: All-band tally of the leaf.
+        leaf_depth: Tree depth of the resolved leaf (diagnostics).
+    """
+
+    rgb: tuple[float, float, float]
+    counts: tuple[int, int, int]
+    leaf_total: int
+    leaf_depth: int
+
+
+class RadianceField:
+    """The answer object: L(x, psi) reconstructed from a forest.
+
+    Args:
+        scene: Scene the forest was computed for (areas, powers).
+        forest: A populated :class:`repro.core.bintree.BinForest`.
+        ownership: For distributed answers (unit-keyed forests), the
+            :class:`repro.parallel.loadbalance.OwnershipMap` that maps a
+            (patch, coordinates) query to the owning unit's tree.  Serial
+            (patch-keyed) forests leave this ``None``.
+
+    Raises:
+        ValueError: if the forest has no emitted photons recorded (cannot
+            normalise).
+    """
+
+    def __init__(self, scene: Scene, forest: BinForest, ownership=None) -> None:
+        if forest.photons_emitted <= 0:
+            raise ValueError("forest has no emitted photons; run a simulation first")
+        self.scene = scene
+        self.forest = forest
+        self.ownership = ownership
+        self._power_per_photon = tuple(
+            (scene.band_powers[b] / forest.band_emitted[b])
+            if forest.band_emitted[b] > 0
+            else 0.0
+            for b in range(NUM_BANDS)
+        )
+
+    def sample(
+        self,
+        patch_id: int,
+        s: float,
+        t: float,
+        direction: Vec3,
+    ) -> RadianceSample:
+        """Radiance leaving patch *patch_id* at (s, t) toward *direction*.
+
+        Directions are world-space; they are projected into the patch
+        frame exactly as the simulator's DetermineBin did, so viewing and
+        simulation resolve to the same leaves.
+        """
+        patch = self.scene.patch_by_id(patch_id)
+        theta, r_squared = local_frame_coords(direction, patch)
+        return self.sample_coords(patch_id, BinCoords(s, t, theta, r_squared))
+
+    def sample_coords(self, patch_id: int, coords: BinCoords) -> RadianceSample:
+        """Radiance at explicit 4-D bin coordinates."""
+        patch = self.scene.patch_by_id(patch_id)
+        if self.ownership is not None:
+            key = self.ownership.unit_of(patch_id, coords)
+        else:
+            key = patch_id
+        tree = self.forest.trees.get(key)
+        if tree is None:
+            return RadianceSample((0.0, 0.0, 0.0), (0, 0, 0), 0, 0)
+        leaf = tree.find_leaf(coords)
+        area_measure = patch.area * leaf.parameter_area()
+        proj_omega = leaf.projected_solid_angle()
+        denom = area_measure * proj_omega
+        if denom <= 0.0:
+            return RadianceSample((0.0, 0.0, 0.0), tuple(leaf.counts), leaf.total, leaf.depth)
+        rgb = tuple(
+            leaf.counts[b] * self._power_per_photon[b] / denom
+            for b in range(NUM_BANDS)
+        )
+        return RadianceSample(rgb, tuple(leaf.counts), leaf.total, leaf.depth)
+
+    # -- integral diagnostics ---------------------------------------------------
+
+    def patch_exitance(self, patch_id: int) -> tuple[float, float, float]:
+        """Total radiant exitance of a patch (W/m^2 per band).
+
+        Computed by summing leaf counts directly (flux is count *
+        power-per-photon over patch area), so it is exact regardless of
+        bin shapes — used by energy-conservation tests.
+        """
+        patch = self.scene.patch_by_id(patch_id)
+        if self.ownership is not None:
+            counts = [0, 0, 0]
+            for info in self.ownership.units:
+                if info.patch_id != patch_id:
+                    continue
+                tree = self.forest.trees.get(info.unit_id)
+                if tree is not None:
+                    for b in range(NUM_BANDS):
+                        counts[b] += tree.root.counts[b]
+        else:
+            tree = self.forest.trees.get(patch_id)
+            if tree is None:
+                return (0.0, 0.0, 0.0)
+            counts = tree.root.counts
+        return tuple(
+            counts[b] * self._power_per_photon[b] / patch.area
+            for b in range(NUM_BANDS)
+        )
+
+    def total_flux(self) -> float:
+        """Scene-wide tallied flux in watts (all bands).
+
+        Each tally is one photon departure; total flux must equal
+        emitted power times (1 + mean bounces), which tests verify
+        against :class:`repro.core.simulator.TraceStats`.
+        """
+        return sum(
+            self.forest.band_tallies[b] * self._power_per_photon[b]
+            for b in range(NUM_BANDS)
+        )

@@ -1,0 +1,135 @@
+"""Surface reflection: the ``Reflect`` routine of Figure 4.1.
+
+On each surface contact a photon is probabilistically absorbed or
+re-emitted, with band-dependent probabilities taken from the material.
+This Russian-roulette scheme is what lets the simulation terminate while
+conserving energy in expectation.  The reflection lobes follow the
+decomposition of the He et al. model the dissertation adopts: a
+Lambertian (uniform-disc) diffuse component, an ideal specular delta for
+mirrors, and a Phong-exponent directional-diffuse lobe for glossy
+surfaces — the semi-diffuse case the paper stresses two-pass methods get
+wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.polygon import Hit
+from ..geometry.vec import Vec3, cross, dot, orthonormal_basis, reflect_about
+from ..rng import Lcg48
+from .generation import direction_rejection
+from .photon import Photon
+
+__all__ = ["ReflectionResult", "reflect", "local_frame_coords"]
+
+#: Resample attempts for a glossy lobe that dips below the surface before
+#: declaring the photon absorbed (energy loss is negligible and identical
+#: on every rank since the stream is consumed deterministically).
+_GLOSS_RETRIES = 8
+
+
+@dataclass(frozen=True)
+class ReflectionResult:
+    """Outcome of a successful (non-absorbing) reflection.
+
+    Attributes:
+        direction: Outgoing world-space unit direction.
+        theta: Azimuth of the outgoing direction in the *patch* frame,
+            in [0, 2 pi).
+        r_squared: Squared projected radial distance in the patch frame,
+            in [0, 1) — the angular coordinate pair the 4-D histogram
+            subdivides (Figure 4.5).
+        kind: 'diffuse', 'mirror' or 'glossy' (diagnostics only).
+    """
+
+    direction: Vec3
+    theta: float
+    r_squared: float
+    kind: str
+
+
+def local_frame_coords(direction: Vec3, patch) -> tuple[float, float]:
+    """Map a world direction to the patch-frame ``(theta, r^2)`` pair.
+
+    The frame is the patch's canonical tangent basis about its geometric
+    normal.  Directions on the back side are folded onto the front
+    hemisphere (|z|): in the closed test scenes genuine backface
+    reflection is a numerical corner case, and folding keeps every
+    direction binnable.
+    """
+    n = patch.normal
+    t1, t2 = orthonormal_basis(n)
+    lx = dot(direction, t1)
+    ly = dot(direction, t2)
+    theta = math.atan2(ly, lx)
+    if theta < 0.0:
+        theta += 2.0 * math.pi
+    r_squared = lx * lx + ly * ly
+    if r_squared >= 1.0:  # unit direction => r^2 <= 1, guard roundoff
+        r_squared = 1.0 - 1e-15
+    return theta, r_squared
+
+
+def _phong_lobe(rng: Lcg48, axis: Vec3, exponent: float) -> Optional[Vec3]:
+    """Sample a direction with density proportional to cos^n about *axis*."""
+    # z = u^(1/(n+1)) gives the power-cosine marginal; phi is uniform.
+    u1 = rng.uniform()
+    u2 = rng.uniform()
+    cos_a = u1 ** (1.0 / (exponent + 1.0))
+    sin_a = math.sqrt(max(0.0, 1.0 - cos_a * cos_a))
+    phi = 2.0 * math.pi * u2
+    t1, t2 = orthonormal_basis(axis)
+    return Vec3(
+        sin_a * math.cos(phi) * t1.x + sin_a * math.sin(phi) * t2.x + cos_a * axis.x,
+        sin_a * math.cos(phi) * t1.y + sin_a * math.sin(phi) * t2.y + cos_a * axis.y,
+        sin_a * math.cos(phi) * t1.z + sin_a * math.sin(phi) * t2.z + cos_a * axis.z,
+    )
+
+
+def reflect(photon: Photon, hit: Hit, rng: Lcg48) -> Optional[ReflectionResult]:
+    """Decide absorption vs. reflection and sample the outgoing lobe.
+
+    Returns ``None`` when the photon is absorbed (Figure 4.1's FALSE
+    branch); otherwise the outgoing direction plus its angular bin
+    coordinates.
+
+    The random stream is consumed in a fixed order (roulette draw, then
+    lobe draws) so serial and parallel replays agree draw-for-draw.
+    """
+    material = hit.patch.material
+    band = photon.band
+    p_diffuse = material.diffuse.band(band)
+    p_specular = material.specular
+
+    u = rng.uniform()
+    normal = hit.shading_normal()
+
+    if u < p_diffuse:
+        lx, ly, lz = direction_rejection(rng)
+        t1, t2 = orthonormal_basis(normal)
+        direction = Vec3(
+            lx * t1.x + ly * t2.x + lz * normal.x,
+            lx * t1.y + ly * t2.y + lz * normal.y,
+            lx * t1.z + ly * t2.z + lz * normal.z,
+        )
+        theta, r_squared = local_frame_coords(direction, hit.patch)
+        return ReflectionResult(direction, theta, r_squared, "diffuse")
+
+    if u < p_diffuse + p_specular:
+        mirror_dir = reflect_about(photon.direction, normal)
+        if material.gloss is None:
+            theta, r_squared = local_frame_coords(mirror_dir, hit.patch)
+            return ReflectionResult(mirror_dir, theta, r_squared, "mirror")
+        # Glossy: Phong lobe about the mirror direction, rejecting samples
+        # that dive below the surface.
+        for _ in range(_GLOSS_RETRIES):
+            candidate = _phong_lobe(rng, mirror_dir, material.gloss)
+            if candidate is not None and dot(candidate, normal) > 1e-12:
+                theta, r_squared = local_frame_coords(candidate, hit.patch)
+                return ReflectionResult(candidate, theta, r_squared, "glossy")
+        return None  # lobe fully below horizon: treat as absorbed
+
+    return None  # absorbed

@@ -1,0 +1,115 @@
+"""The viewing stage: a single-step ray trace over the answer (Figure 4.9).
+
+"Once the simulation is finished, all that remains is to determine what
+is displayed. ... This can be reduced to a single-step ray trace."  Rays
+go from the eye to the first visible surface only; the displayed colour
+is the stored radiance of the bin a photon travelling from the surface
+to the eye would have been tallied in.  Because the whole radiance
+function is stored, *any* viewpoint renders from the same answer file
+with no recomputation (Figure 4.10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.ray import Ray
+from ..geometry.scene import Scene
+from ..geometry.vec import Vec3, cross, normalize, sub
+from .radiance import RadianceField
+
+__all__ = ["Camera", "render", "render_rows"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera.
+
+    Attributes:
+        position: Eye point.
+        look_at: Point the optical axis passes through.
+        up: Approximate up vector (re-orthogonalised internally).
+        vertical_fov_degrees: Full vertical field of view.
+        width / height: Image resolution in pixels.
+    """
+
+    position: Vec3
+    look_at: Vec3
+    up: Vec3 = Vec3(0.0, 1.0, 0.0)
+    vertical_fov_degrees: float = 55.0
+    width: int = 160
+    height: int = 120
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("resolution must be at least 1x1")
+        if not 0.0 < self.vertical_fov_degrees < 180.0:
+            raise ValueError("vertical fov must be in (0, 180) degrees")
+
+    def basis(self) -> tuple[Vec3, Vec3, Vec3]:
+        """Right-handed (right, up, forward) unit basis."""
+        forward = normalize(sub(self.look_at, self.position))
+        right = normalize(cross(forward, self.up))
+        true_up = cross(right, forward)
+        return right, true_up, forward
+
+    def primary_ray(self, px: float, py: float) -> Ray:
+        """Ray through pixel centre (px, py); (0, 0) is the top-left pixel."""
+        right, up, forward = self.basis()
+        half_h = math.tan(math.radians(self.vertical_fov_degrees) / 2.0)
+        half_w = half_h * self.width / self.height
+        # NDC in [-1, 1], y flipped so row 0 is the top of the image.
+        ndc_x = ((px + 0.5) / self.width) * 2.0 - 1.0
+        ndc_y = 1.0 - ((py + 0.5) / self.height) * 2.0
+        direction = Vec3(
+            forward.x + ndc_x * half_w * right.x + ndc_y * half_h * up.x,
+            forward.y + ndc_x * half_w * right.y + ndc_y * half_h * up.y,
+            forward.z + ndc_x * half_w * right.z + ndc_y * half_h * up.z,
+        )
+        return Ray(self.position, direction)
+
+
+def render_rows(
+    scene: Scene,
+    field: RadianceField,
+    camera: Camera,
+    row_start: int,
+    row_end: int,
+) -> np.ndarray:
+    """Render rows [row_start, row_end) to a (rows, width, 3) radiance array.
+
+    Exposed separately so the examples can chunk rendering (and so a
+    trivially parallel viewer — the "parallelizes with little effort"
+    property of eye rays — can split scanlines).
+    """
+    if not 0 <= row_start <= row_end <= camera.height:
+        raise ValueError("invalid row range")
+    out = np.zeros((row_end - row_start, camera.width, 3), dtype=np.float64)
+    for j in range(row_start, row_end):
+        for i in range(camera.width):
+            ray = camera.primary_ray(i, j)
+            hit = scene.intersect(ray)
+            if hit is None:
+                continue
+            # A photon seen by the eye would travel surface -> eye, i.e.
+            # along -ray.direction from the hit point.
+            to_eye = Vec3(-ray.direction.x, -ray.direction.y, -ray.direction.z)
+            sample = field.sample(hit.patch.patch_id, hit.s, hit.t, to_eye)
+            out[j - row_start, i, 0] = sample.rgb[0]
+            out[j - row_start, i, 1] = sample.rgb[1]
+            out[j - row_start, i, 2] = sample.rgb[2]
+    return out
+
+
+def render(scene: Scene, field: RadianceField, camera: Camera) -> np.ndarray:
+    """Render the full frame to a (height, width, 3) radiance array.
+
+    No Gouraud smoothing is applied — the paper deliberately renders raw
+    patches "to show the adaptive nature of Photon as well as to preserve
+    integrity".  Tone mapping to displayable 8-bit lives in
+    :mod:`repro.image.tonemap`.
+    """
+    return render_rows(scene, field, camera, 0, camera.height)

@@ -1,0 +1,173 @@
+"""Convenience constructors for scene geometry.
+
+The three test scenes (Cornell Box, Harpsichord Practice Room, Computer
+Laboratory) are assembled from axis-aligned rooms, boxes, and free
+parallelograms built here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .material import Material
+from .polygon import Patch
+from .vec import Vec3
+
+__all__ = [
+    "parallelogram",
+    "quad_from_corners",
+    "axis_rect",
+    "box",
+    "room",
+    "table",
+]
+
+
+def parallelogram(origin: Vec3, eu: Vec3, ev: Vec3, material: Material, name: str = "") -> Patch:
+    """A patch from an origin corner and two edge vectors."""
+    return Patch(origin, eu, ev, material, name=name)
+
+
+def quad_from_corners(
+    c00: Vec3, c10: Vec3, c01: Vec3, material: Material, name: str = ""
+) -> Patch:
+    """Parallelogram from three corners: (0,0), (1,0) and (0,1).
+
+    The fourth corner is implied (``c10 + c01 - c00``).
+    """
+    return Patch(c00, c10 - c00, c01 - c00, material, name=name)
+
+
+_AXES = {"x": 0, "y": 1, "z": 2}
+
+
+def axis_rect(
+    axis: str,
+    level: float,
+    u_range: tuple[float, float],
+    v_range: tuple[float, float],
+    material: Material,
+    *,
+    name: str = "",
+    flip: bool = False,
+) -> Patch:
+    """Axis-aligned rectangle on the plane ``axis = level``.
+
+    For ``axis='y'`` the u/v ranges map to x/z, etc.; *flip* reverses the
+    winding (and hence the geometric normal).
+
+    Args:
+        axis: 'x', 'y' or 'z' — the constant coordinate.
+        level: Plane position along that axis.
+        u_range / v_range: Extents along the two remaining axes, in
+            axis-name order (e.g. for axis='y' u is x and v is z).
+    """
+    if axis not in _AXES:
+        raise ValueError(f"axis must be one of x/y/z, got {axis!r}")
+    (u0, u1), (v0, v1) = u_range, v_range
+    others = [a for a in ("x", "y", "z") if a != axis]
+
+    def build(u: float, v: float) -> Vec3:
+        coords = {axis: level, others[0]: u, others[1]: v}
+        return Vec3(coords["x"], coords["y"], coords["z"])
+
+    origin = build(u0, v0)
+    pu = build(u1, v0)
+    pv = build(u0, v1)
+    if flip:
+        pu, pv = pv, pu
+    return quad_from_corners(origin, pu, pv, material, name=name)
+
+
+def box(
+    lo: Vec3,
+    hi: Vec3,
+    material: Material,
+    *,
+    name: str = "box",
+    inward: bool = False,
+) -> list[Patch]:
+    """The six faces of an axis-aligned box.
+
+    With ``inward=False`` (an object in a room) normals point out of the
+    box; with ``inward=True`` (the room shell itself) they point inside.
+    """
+    faces = []
+    spec = [
+        ("x", lo.x, (lo.y, hi.y), (lo.z, hi.z), True),
+        ("x", hi.x, (lo.y, hi.y), (lo.z, hi.z), False),
+        ("y", lo.y, (lo.x, hi.x), (lo.z, hi.z), False),
+        ("y", hi.y, (lo.x, hi.x), (lo.z, hi.z), True),
+        ("z", lo.z, (lo.x, hi.x), (lo.y, hi.y), True),
+        ("z", hi.z, (lo.x, hi.x), (lo.y, hi.y), False),
+    ]
+    for i, (axis, level, u_range, v_range, flip) in enumerate(spec):
+        if inward:
+            flip = not flip
+        faces.append(
+            axis_rect(
+                axis,
+                level,
+                u_range,
+                v_range,
+                material,
+                name=f"{name}.face{i}",
+                flip=flip,
+            )
+        )
+    return faces
+
+
+def room(
+    lo: Vec3,
+    hi: Vec3,
+    *,
+    floor: Material,
+    ceiling: Material,
+    walls: Material,
+    name: str = "room",
+) -> list[Patch]:
+    """A rectangular room shell with inward normals.
+
+    Returns faces in the order floor, ceiling, -x wall, +x wall,
+    -z wall, +z wall (y is up).
+    """
+    return [
+        axis_rect("y", lo.y, (lo.x, hi.x), (lo.z, hi.z), floor, name=f"{name}.floor", flip=True),
+        axis_rect("y", hi.y, (lo.x, hi.x), (lo.z, hi.z), ceiling, name=f"{name}.ceiling", flip=False),
+        axis_rect("x", lo.x, (lo.y, hi.y), (lo.z, hi.z), walls, name=f"{name}.wall-x", flip=False),
+        axis_rect("x", hi.x, (lo.y, hi.y), (lo.z, hi.z), walls, name=f"{name}.wall+x", flip=True),
+        axis_rect("z", lo.z, (lo.x, hi.x), (lo.y, hi.y), walls, name=f"{name}.wall-z", flip=False),
+        axis_rect("z", hi.z, (lo.x, hi.x), (lo.y, hi.y), walls, name=f"{name}.wall+z", flip=True),
+    ]
+
+
+def table(
+    center: Vec3,
+    width: float,
+    depth: float,
+    height: float,
+    top_thickness: float,
+    leg_size: float,
+    material: Material,
+    *,
+    name: str = "table",
+) -> list[Patch]:
+    """A simple table: a box top plus four box legs (30 patches).
+
+    Used liberally by the Computer Laboratory builder to reach its ~2000
+    defining polygons with plausible occlusion structure.
+    """
+    patches: list[Patch] = []
+    hw, hd = width / 2.0, depth / 2.0
+    top_lo = Vec3(center.x - hw, center.y + height - top_thickness, center.z - hd)
+    top_hi = Vec3(center.x + hw, center.y + height, center.z + hd)
+    patches += box(top_lo, top_hi, material, name=f"{name}.top")
+    inset = leg_size * 1.5
+    for i, (sx, sz) in enumerate(((-1, -1), (-1, 1), (1, -1), (1, 1))):
+        cx = center.x + sx * (hw - inset)
+        cz = center.z + sz * (hd - inset)
+        leg_lo = Vec3(cx - leg_size / 2, center.y, cz - leg_size / 2)
+        leg_hi = Vec3(cx + leg_size / 2, center.y + height - top_thickness, cz + leg_size / 2)
+        patches += box(leg_lo, leg_hi, material, name=f"{name}.leg{i}")
+    return patches

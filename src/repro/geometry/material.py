@@ -1,0 +1,148 @@
+"""Surface optical descriptions.
+
+The dissertation bases reflection on the physical-optics model of
+He et al. (1991), which decomposes surface response into diffuse,
+directional-diffuse and specular components with polarization and
+masking/shadowing terms.  We keep the same decomposition — a per-band
+diffuse albedo plus a specular fraction with a gloss exponent — which
+drives identical simulation structure (probabilistic absorption, mirror
+bins needing angular refinement) without the unpublished measured
+coefficients.  A Stokes-vector hook marks where the polarization
+extension (the paper's future work) would attach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RGB", "Material", "BLACK", "WHITE"]
+
+
+@dataclass(frozen=True)
+class RGB:
+    """A red/green/blue triple in [0, 1] used for albedo and emission."""
+
+    r: float
+    g: float
+    b: float
+
+    def __post_init__(self) -> None:
+        for name, v in (("r", self.r), ("g", self.g), ("b", self.b)):
+            if not (v == v) or v < 0.0:
+                raise ValueError(f"RGB.{name} must be >= 0, got {v}")
+
+    def band(self, index: int) -> float:
+        """Component by band index (0=r, 1=g, 2=b)."""
+        if index == 0:
+            return self.r
+        if index == 1:
+            return self.g
+        if index == 2:
+            return self.b
+        raise IndexError(index)
+
+    def luminance(self) -> float:
+        """Rec. 601 luma, used for importance decisions only."""
+        return 0.299 * self.r + 0.587 * self.g + 0.114 * self.b
+
+    def scaled(self, s: float) -> "RGB":
+        """Component-wise scaling by *s*."""
+        return RGB(self.r * s, self.g * s, self.b * s)
+
+    def __iter__(self):
+        yield self.r
+        yield self.g
+        yield self.b
+
+
+BLACK = RGB(0.0, 0.0, 0.0)
+WHITE = RGB(1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Material:
+    """Optical behaviour of a patch.
+
+    Attributes:
+        name: Human-readable identifier (appears in scene inventories).
+        diffuse: Per-band probability that an incident photon is reflected
+            diffusely (Lambertian).  Values in [0, 1].
+        specular: Probability that an incident photon reflects specularly,
+            independent of band.  ``diffuse.band(i) + specular`` must not
+            exceed 1 for any band — the remainder is absorption, which is
+            how the Russian-roulette termination of Figure 4.1 conserves
+            energy.
+        gloss: Phong-lobe exponent for the specular component.  ``None``
+            means an ideal mirror (delta lobe); finite values give glossy
+            semi-diffuse reflection, the case the paper says two-pass
+            methods cannot handle.
+        emission: Radiant exitance per band for luminaires; BLACK for
+            passive surfaces.
+        polarization_hook: Placeholder for the Stokes-vector extension the
+            dissertation lists as work in progress.  Unused by the solver.
+    """
+
+    name: str
+    diffuse: RGB = field(default_factory=lambda: RGB(0.5, 0.5, 0.5))
+    specular: float = 0.0
+    gloss: float | None = None
+    emission: RGB = BLACK
+    polarization_hook: tuple[float, float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.specular <= 1.0:
+            raise ValueError(f"specular must be in [0, 1], got {self.specular}")
+        for band in range(3):
+            total = self.diffuse.band(band) + self.specular
+            if total > 1.0 + 1e-12:
+                raise ValueError(
+                    f"material {self.name!r} reflects more than it receives in "
+                    f"band {band}: diffuse {self.diffuse.band(band)} + "
+                    f"specular {self.specular} = {total} > 1"
+                )
+        if self.gloss is not None and self.gloss <= 0:
+            raise ValueError(f"gloss exponent must be positive, got {self.gloss}")
+
+    @property
+    def is_emitter(self) -> bool:
+        return (
+            self.emission.r > 0.0 or self.emission.g > 0.0 or self.emission.b > 0.0
+        )
+
+    @property
+    def is_mirror(self) -> bool:
+        """Ideal specular surface (delta reflection lobe)."""
+        return self.specular > 0.0 and self.gloss is None
+
+    def absorption(self, band: int) -> float:
+        """Probability that a band-*band* photon is absorbed on contact."""
+        return 1.0 - self.diffuse.band(band) - self.specular
+
+    def mean_reflectivity(self) -> float:
+        """Band-averaged total reflectivity; used by radiosity baselines."""
+        return (
+            self.diffuse.r + self.diffuse.g + self.diffuse.b
+        ) / 3.0 + self.specular
+
+
+def matte(name: str, r: float, g: float, b: float) -> Material:
+    """A purely diffuse material with per-band albedo (r, g, b)."""
+    return Material(name=name, diffuse=RGB(r, g, b))
+
+
+def mirror(name: str, reflectance: float = 0.95) -> Material:
+    """An ideal mirror that reflects *reflectance* of incident photons."""
+    return Material(name=name, diffuse=BLACK, specular=reflectance, gloss=None)
+
+
+def glossy(name: str, r: float, g: float, b: float, specular: float, gloss: float) -> Material:
+    """Semi-diffuse: Lambertian base plus a Phong lobe of exponent *gloss*."""
+    return Material(name=name, diffuse=RGB(r, g, b), specular=specular, gloss=gloss)
+
+
+def emitter(name: str, r: float, g: float, b: float) -> Material:
+    """A luminaire with exitance (r, g, b) and no reflection."""
+    return Material(name=name, diffuse=BLACK, emission=RGB(r, g, b))
+
+
+__all__ += ["matte", "mirror", "glossy", "emitter"]

@@ -1,0 +1,213 @@
+"""Planar parallelogram patches — the geometric primitive of Photon.
+
+Every defining polygon in the scene descriptions is a parallelogram
+``P(s, t) = p0 + s * eu + t * ev`` with bilinear parameters
+``s, t in [0, 1]``.  The 4-D histogram (Figure 4.5) splits along exactly
+these parameters, and for a non-trapezoidal patch halving ``s`` or ``t``
+halves a uniform photon distribution — the property the dissertation's
+bin-splitting analysis relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .material import Material
+from .ray import EPSILON, Ray
+from .vec import Vec3, cross, dot, sub
+
+__all__ = ["Patch", "Hit"]
+
+
+@dataclass(frozen=True)
+class Hit:
+    """A ray/patch intersection record.
+
+    Attributes:
+        distance: Ray parameter (world distance, ray directions are unit).
+        point: World-space intersection point.
+        s: Bilinear parameter along the patch ``eu`` edge, in [0, 1].
+        t: Bilinear parameter along the patch ``ev`` edge, in [0, 1].
+        patch: The patch that was hit.
+        backface: True when the ray arrived from the side opposite the
+            stored geometric normal.
+    """
+
+    distance: float
+    point: Vec3
+    s: float
+    t: float
+    patch: "Patch"
+    backface: bool
+
+    def shading_normal(self) -> Vec3:
+        """Geometric normal flipped to oppose the incident direction."""
+        n = self.patch.normal
+        return -n if self.backface else n
+
+
+class Patch:
+    """A parallelogram surface element with a material.
+
+    Args:
+        p0: Corner at ``(s, t) = (0, 0)``.
+        eu: Edge vector to the ``(1, 0)`` corner.
+        ev: Edge vector to the ``(0, 1)`` corner.
+        material: Optical description of the surface.
+        name: Optional label for diagnostics.
+
+    Raises:
+        ValueError: if the edges are (nearly) parallel, i.e. the patch is
+            degenerate.
+    """
+
+    __slots__ = (
+        "p0",
+        "eu",
+        "ev",
+        "material",
+        "name",
+        "normal",
+        "area",
+        "patch_id",
+        "_d",
+        "_inv_uu",
+        "_inv_vv",
+        "_inv_uv",
+        "_det_inv",
+    )
+
+    def __init__(
+        self,
+        p0: Vec3,
+        eu: Vec3,
+        ev: Vec3,
+        material: Material,
+        name: str = "",
+    ) -> None:
+        self.p0 = p0
+        self.eu = eu
+        self.ev = ev
+        self.material = material
+        self.name = name
+
+        n = cross(eu, ev)
+        area = n.length()
+        if area < 1e-15:
+            raise ValueError(f"degenerate patch {name!r}: edges are parallel")
+        self.area = area
+        self.normal = n / area
+        # Plane constant for the implicit plane equation n . x = d.
+        self._d = dot(self.normal, p0)
+
+        # Precomputed Gram-matrix inverse for projecting a point on the
+        # plane to (s, t):  [uu uv; uv vv] [s; t] = [w.eu; w.ev].
+        uu = dot(eu, eu)
+        vv = dot(ev, ev)
+        uv = dot(eu, ev)
+        det = uu * vv - uv * uv
+        # det == area^2 for a parallelogram, already checked nonzero.
+        self._det_inv = 1.0 / det
+        self._inv_uu = uu
+        self._inv_vv = vv
+        self._inv_uv = uv
+
+        #: Assigned by :class:`repro.geometry.scene.Scene`; -1 = unregistered.
+        self.patch_id = -1
+
+    # -- parameterisation --------------------------------------------------------
+
+    def point_at(self, s: float, t: float) -> Vec3:
+        """World point at bilinear coordinates ``(s, t)``."""
+        p0 = self.p0
+        eu = self.eu
+        ev = self.ev
+        return Vec3(
+            p0.x + s * eu.x + t * ev.x,
+            p0.y + s * eu.y + t * ev.y,
+            p0.z + s * eu.z + t * ev.z,
+        )
+
+    def parameters_of(self, point: Vec3) -> tuple[float, float]:
+        """Invert :meth:`point_at` for a point on (or near) the plane."""
+        w = sub(point, self.p0)
+        wu = dot(w, self.eu)
+        wv = dot(w, self.ev)
+        s = (wu * self._inv_vv - wv * self._inv_uv) * self._det_inv
+        t = (wv * self._inv_uu - wu * self._inv_uv) * self._det_inv
+        return s, t
+
+    def corners(self) -> tuple[Vec3, Vec3, Vec3, Vec3]:
+        """The four corners in (0,0), (1,0), (1,1), (0,1) order."""
+        return (
+            self.p0,
+            self.p0 + self.eu,
+            self.p0 + self.eu + self.ev,
+            self.p0 + self.ev,
+        )
+
+    def centroid(self) -> Vec3:
+        """The patch centre, point_at(0.5, 0.5)."""
+        return self.point_at(0.5, 0.5)
+
+    # -- intersection --------------------------------------------------------------
+
+    def intersect(self, ray: Ray, t_max: float = float("inf")) -> Optional[Hit]:
+        """Closest intersection of *ray* with this patch within ``(EPSILON, t_max]``.
+
+        Patches are two-sided: photons and view rays may arrive from either
+        side; :attr:`Hit.backface` records which.
+        """
+        n = self.normal
+        denom = dot(n, ray.direction)
+        if -1e-14 < denom < 1e-14:
+            return None  # ray parallel to the plane
+        t = (self._d - dot(n, ray.origin)) / denom
+        if t <= EPSILON or t > t_max:
+            return None
+        point = ray.at(t)
+        s, tt = self.parameters_of(point)
+        # Tolerate parameter roundoff at the patch boundary: an exact
+        # corner hit may invert to a tiny negative coordinate.
+        tol = 1e-9
+        if s < -tol or s > 1.0 + tol or tt < -tol or tt > 1.0 + tol:
+            return None
+        return Hit(
+            distance=t,
+            point=point,
+            s=min(max(s, 0.0), 1.0),
+            t=min(max(tt, 0.0), 1.0),
+            patch=self,
+            backface=denom > 0.0,
+        )
+
+    # -- misc -----------------------------------------------------------------------
+
+    def bounds(self):
+        """Tight AABB of the four corners (import-cycle-free lazy import)."""
+        from .aabb import AABB
+
+        return AABB.from_points(self.corners())
+
+    def split_midpoint(self, axis: str) -> tuple["Patch", "Patch"]:
+        """Split into two half-patches along parameter *axis* ('s' or 't').
+
+        Used by the hierarchical-radiosity baseline, which subdivides the
+        geometry itself (Photon instead subdivides histogram bins).
+        """
+        if axis == "s":
+            half = self.eu * 0.5
+            left = Patch(self.p0, half, self.ev, self.material, self.name + "/s0")
+            right = Patch(self.p0 + half, half, self.ev, self.material, self.name + "/s1")
+            return left, right
+        if axis == "t":
+            half = self.ev * 0.5
+            bottom = Patch(self.p0, self.eu, half, self.material, self.name + "/t0")
+            top = Patch(self.p0 + half, self.eu, half, self.material, self.name + "/t1")
+            return bottom, top
+        raise ValueError(f"axis must be 's' or 't', got {axis!r}")
+
+    def __repr__(self) -> str:
+        label = self.name or f"patch#{self.patch_id}"
+        return f"Patch({label}, area={self.area:.4g}, material={self.material.name})"

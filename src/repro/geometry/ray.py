@@ -1,0 +1,47 @@
+"""Rays for photon tracing and the single-step viewing pass."""
+
+from __future__ import annotations
+
+from .vec import Vec3
+
+__all__ = ["Ray", "EPSILON"]
+
+#: Self-intersection guard: hits closer than this along the ray are ignored
+#: so a reflected photon does not immediately re-hit its own surface.
+EPSILON = 1e-9
+
+
+class Ray:
+    """A half-line ``origin + t * direction`` for ``t > 0``.
+
+    The direction is normalised on construction so ``t`` measures world
+    distance, which the octree traversal relies on when ordering child
+    cells near-to-far.
+    """
+
+    __slots__ = ("origin", "direction", "inv_direction")
+
+    def __init__(self, origin: Vec3, direction: Vec3, *, normalized: bool = False):
+        self.origin = origin
+        if not normalized:
+            direction = direction.normalized()
+        self.direction = direction
+        # Precompute reciprocals for the slab test; IEEE inf for axis-aligned
+        # rays is handled correctly by the AABB intersection code.
+        dx = direction.x
+        dy = direction.y
+        dz = direction.z
+        self.inv_direction = Vec3(
+            1.0 / dx if dx != 0.0 else float("inf"),
+            1.0 / dy if dy != 0.0 else float("inf"),
+            1.0 / dz if dz != 0.0 else float("inf"),
+        )
+
+    def at(self, t: float) -> Vec3:
+        """The point ``origin + t * direction``."""
+        o = self.origin
+        d = self.direction
+        return Vec3(o.x + t * d.x, o.y + t * d.y, o.z + t * d.z)
+
+    def __repr__(self) -> str:
+        return f"Ray(origin={self.origin!r}, direction={self.direction!r})"

@@ -1,0 +1,187 @@
+"""Scene container: patches, luminaires, and the octree index.
+
+A :class:`Scene` owns the *defining polygons* (Table 5.1's first column).
+The view-dependent mesh polygons of the second column are not geometry at
+all — they are histogram bins that the Photon simulator grows at run time
+(see :mod:`repro.core.bintree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .aabb import AABB
+from .octree import Octree
+from .polygon import Hit, Patch
+from .ray import Ray
+from .vec import Vec3
+
+__all__ = ["Scene", "Luminaire", "SceneStats"]
+
+
+@dataclass(frozen=True)
+class Luminaire:
+    """An emitting patch together with its share of scene power.
+
+    Attributes:
+        patch: The emitting patch (``patch.material.is_emitter`` is True).
+        power: Total radiant power, integrated over area and bands.
+        cumulative: Upper edge of this luminaire's interval in the
+            power-proportional CDF used for emitter selection.
+        beam_half_angle: Collimation in radians.  ``None`` means a diffuse
+            (cosine-hemisphere) emitter; small values approximate sunlight
+            (the paper uses a quarter-degree scaling of the unit circle).
+    """
+
+    patch: Patch
+    power: float
+    cumulative: float
+    beam_half_angle: Optional[float]
+
+
+@dataclass
+class SceneStats:
+    """Inventory numbers surfaced by Table 5.1 and the README."""
+
+    defining_polygons: int
+    emitters: int
+    total_area: float
+    total_power: float
+
+
+class Scene:
+    """An indexed collection of patches with power-weighted luminaires.
+
+    Args:
+        patches: All defining polygons.  Patch ids are (re)assigned
+            densely in input order: the distributed-memory algorithm
+            identifies bins by ``(patch_id, path)`` so ids must be
+            identical across ranks.
+        name: Scene label, used in reports.
+        beam_half_angles: Optional mapping from patch index (in *patches*)
+            to a collimation half-angle for that emitter.
+        leaf_capacity / max_depth: Octree build parameters.
+    """
+
+    def __init__(
+        self,
+        patches: Sequence[Patch],
+        *,
+        name: str = "scene",
+        beam_half_angles: Optional[dict[int, float]] = None,
+        leaf_capacity: int = 8,
+        max_depth: int = 10,
+    ) -> None:
+        if not patches:
+            raise ValueError("a scene needs at least one patch")
+        self.name = name
+        self.patches: list[Patch] = list(patches)
+        for i, patch in enumerate(self.patches):
+            patch.patch_id = i
+
+        beam_half_angles = beam_half_angles or {}
+
+        # Power-proportional CDF over emitters, so photon generation can
+        # select a luminaire with a single uniform variate.
+        self.luminaires: list[Luminaire] = []
+        cumulative = 0.0
+        for i, patch in enumerate(self.patches):
+            mat = patch.material
+            if not mat.is_emitter:
+                continue
+            power = (mat.emission.r + mat.emission.g + mat.emission.b) * patch.area
+            cumulative += power
+            self.luminaires.append(
+                Luminaire(
+                    patch=patch,
+                    power=power,
+                    cumulative=cumulative,
+                    beam_half_angle=beam_half_angles.get(i),
+                )
+            )
+        self.total_power = cumulative
+        if not self.luminaires:
+            raise ValueError(f"scene {name!r} has no luminaires — nothing to simulate")
+        self.band_powers = (
+            sum(l.patch.material.emission.r * l.patch.area for l in self.luminaires),
+            sum(l.patch.material.emission.g * l.patch.area for l in self.luminaires),
+            sum(l.patch.material.emission.b * l.patch.area for l in self.luminaires),
+        )
+
+        self.octree = Octree(
+            self.patches, leaf_capacity=leaf_capacity, max_depth=max_depth
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def intersect(self, ray: Ray, t_max: float = float("inf")) -> Optional[Hit]:
+        """Closest hit in the scene (octree-accelerated)."""
+        return self.octree.intersect(ray, t_max)
+
+    def intersect_linear(self, ray: Ray, t_max: float = float("inf")) -> Optional[Hit]:
+        """Closest hit by brute-force scan of every patch.
+
+        Kept as the correctness oracle for the octree and as the baseline
+        for the octree ablation bench.
+        """
+        best: Optional[Hit] = None
+        limit = t_max
+        for patch in self.patches:
+            hit = patch.intersect(ray, limit)
+            if hit is not None:
+                best = hit
+                limit = hit.distance
+        return best
+
+    def is_occluded(self, ray: Ray, distance: float) -> bool:
+        """Any-hit shadow query strictly before *distance*."""
+        return self.octree.is_occluded(ray, distance)
+
+    def pick_luminaire(self, u: float) -> Luminaire:
+        """Luminaire whose CDF interval contains ``u * total_power``.
+
+        Args:
+            u: Uniform variate in [0, 1).
+        """
+        target = u * self.total_power
+        lo, hi = 0, len(self.luminaires) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.luminaires[mid].cumulative <= target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.luminaires[lo]
+
+    def bounds(self) -> AABB:
+        """The octree root bounds (slightly expanded scene extent)."""
+        return self.octree.root.bounds
+
+    # -- inventory ----------------------------------------------------------------
+
+    @property
+    def defining_polygon_count(self) -> int:
+        return len(self.patches)
+
+    def stats(self) -> SceneStats:
+        """Inventory snapshot for Table 5.1-style reports."""
+        return SceneStats(
+            defining_polygons=len(self.patches),
+            emitters=len(self.luminaires),
+            total_area=sum(p.area for p in self.patches),
+            total_power=self.total_power,
+        )
+
+    def patch_by_id(self, patch_id: int) -> Patch:
+        """The patch with dense id *patch_id* (asserts table sanity)."""
+        patch = self.patches[patch_id]
+        if patch.patch_id != patch_id:
+            raise AssertionError("patch id table corrupted")
+        return patch
+
+    def __repr__(self) -> str:
+        return (
+            f"Scene({self.name!r}, {len(self.patches)} patches, "
+            f"{len(self.luminaires)} luminaires)"
+        )

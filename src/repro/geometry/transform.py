@@ -1,0 +1,116 @@
+"""Rigid transforms for scene assembly.
+
+Scene builders place furniture by composing rotations and translations;
+this module provides the minimal rigid-transform algebra (no scaling or
+shear — patch areas and the bilinear parameterisation must survive
+unchanged, which tests assert).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .polygon import Patch
+from .vec import Vec3
+
+__all__ = ["Transform", "rotate_y", "rotate_x", "rotate_z", "translate"]
+
+
+class Transform:
+    """A rigid transform: 3x3 rotation plus translation.
+
+    Compose with ``@`` (right-to-left application like matrices) and
+    apply with :meth:`point` / :meth:`vector` / :meth:`patch`.
+    """
+
+    __slots__ = ("r", "t")
+
+    def __init__(self, rotation: Sequence[Sequence[float]], translation: Vec3) -> None:
+        if len(rotation) != 3 or any(len(row) != 3 for row in rotation):
+            raise ValueError("rotation must be 3x3")
+        self.r = tuple(tuple(float(v) for v in row) for row in rotation)
+        self.t = translation
+        # Guard: rows must be orthonormal (rigid), checked loosely.
+        for i in range(3):
+            norm = sum(v * v for v in self.r[i])
+            if abs(norm - 1.0) > 1e-9:
+                raise ValueError("rotation rows must be unit length (rigid only)")
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        return cls(((1, 0, 0), (0, 1, 0), (0, 0, 1)), Vec3(0, 0, 0))
+
+    # -- application ------------------------------------------------------------
+
+    def vector(self, v: Vec3) -> Vec3:
+        """Rotate a direction (no translation)."""
+        r = self.r
+        return Vec3(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+
+    def point(self, p: Vec3) -> Vec3:
+        """Rotate then translate a point."""
+        rotated = self.vector(p)
+        return Vec3(rotated.x + self.t.x, rotated.y + self.t.y, rotated.z + self.t.z)
+
+    def patch(self, patch: Patch) -> Patch:
+        """A new patch with transformed origin and edges (same material)."""
+        return Patch(
+            self.point(patch.p0),
+            self.vector(patch.eu),
+            self.vector(patch.ev),
+            patch.material,
+            name=patch.name,
+        )
+
+    def patches(self, items: Iterable[Patch]) -> list[Patch]:
+        """Transform a collection of patches."""
+        return [self.patch(p) for p in items]
+
+    # -- composition --------------------------------------------------------------
+
+    def __matmul__(self, other: "Transform") -> "Transform":
+        """self o other: apply *other* first, then self."""
+        r = tuple(
+            tuple(
+                sum(self.r[i][k] * other.r[k][j] for k in range(3))
+                for j in range(3)
+            )
+            for i in range(3)
+        )
+        t = self.point(other.t)
+        return Transform(r, t)
+
+    def inverse(self) -> "Transform":
+        """The inverse rigid transform (rotation transpose, negated t)."""
+        rt = tuple(tuple(self.r[j][i] for j in range(3)) for i in range(3))
+        inv = Transform(rt, Vec3(0, 0, 0))
+        neg_t = inv.vector(self.t)
+        return Transform(rt, Vec3(-neg_t.x, -neg_t.y, -neg_t.z))
+
+
+def rotate_y(angle: float) -> Transform:
+    """Rotation about the +y (up) axis by *angle* radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return Transform(((c, 0.0, s), (0.0, 1.0, 0.0), (-s, 0.0, c)), Vec3(0, 0, 0))
+
+
+def rotate_x(angle: float) -> Transform:
+    """Rotation about the +x axis by *angle* radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return Transform(((1.0, 0.0, 0.0), (0.0, c, -s), (0.0, s, c)), Vec3(0, 0, 0))
+
+
+def rotate_z(angle: float) -> Transform:
+    """Rotation about the +z axis by *angle* radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return Transform(((c, -s, 0.0), (s, c, 0.0), (0.0, 0.0, 1.0)), Vec3(0, 0, 0))
+
+
+def translate(offset: Vec3) -> Transform:
+    """Pure translation by *offset*."""
+    return Transform(((1, 0, 0), (0, 1, 0), (0, 0, 1)), offset)

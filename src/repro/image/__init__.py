@@ -1,0 +1,19 @@
+"""Imaging: tone mapping, PPM I/O, quality metrics."""
+
+from .metrics import mean_absolute_error, psnr, relative_luminance_error, rmse
+from .ppm import read_ppm, save_radiance_ppm, write_ppm
+from .tonemap import exposure_scale, gamma_encode, reinhard, to_uint8
+
+__all__ = [
+    "exposure_scale",
+    "gamma_encode",
+    "mean_absolute_error",
+    "psnr",
+    "read_ppm",
+    "reinhard",
+    "relative_luminance_error",
+    "rmse",
+    "save_radiance_ppm",
+    "to_uint8",
+    "write_ppm",
+]

@@ -1,0 +1,63 @@
+"""Image quality metrics for the visual-speedup study (Figure 5.16).
+
+The paper demonstrates fixed-time speedup visually: the same scene run
+for two minutes on 1/2/4/8 processors shows progressively less Monte
+Carlo noise.  We quantify that with RMSE/PSNR against a long-run
+reference image, so the bench can assert the monotone quality trend.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["rmse", "psnr", "mean_absolute_error", "relative_luminance_error"]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    return x, y
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square error over all channels."""
+    x, y = _pair(a, b)
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+def mean_absolute_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean |a - b| over all channels."""
+    x, y = _pair(a, b)
+    return float(np.mean(np.abs(x - y)))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float | None = None) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical images).
+
+    Args:
+        peak: Signal peak; defaults to the reference maximum.
+    """
+    x, y = _pair(a, b)
+    err = rmse(x, y)
+    if err == 0.0:
+        return math.inf
+    if peak is None:
+        peak = float(np.max(x))
+        if peak <= 0.0:
+            peak = 1.0
+    return 20.0 * math.log10(peak / err)
+
+
+def relative_luminance_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean |luma difference| / reference luma over lit reference pixels."""
+    x, y = _pair(a, b)
+    lx = 0.299 * x[..., 0] + 0.587 * x[..., 1] + 0.114 * x[..., 2]
+    ly = 0.299 * y[..., 0] + 0.587 * y[..., 1] + 0.114 * y[..., 2]
+    mask = lx > 0.0
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(np.abs(lx[mask] - ly[mask]) / lx[mask]))

@@ -1,0 +1,67 @@
+"""Binary PPM (P6) image I/O — dependency-free output for the examples."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .tonemap import to_uint8
+
+__all__ = ["write_ppm", "read_ppm", "save_radiance_ppm"]
+
+
+def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
+    """Write an (H, W, 3) uint8 array as binary PPM.
+
+    Raises:
+        ValueError: on wrong shape or dtype.
+    """
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {arr.shape}")
+    if arr.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {arr.dtype}")
+    h, w = arr.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(arr.tobytes())
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM written by :func:`write_ppm`.
+
+    Raises:
+        ValueError: on malformed headers.
+    """
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    # Header: magic, width, height, maxval — whitespace separated, with
+    # possible comment lines.
+    fields: list[bytes] = []
+    i = 2
+    while len(fields) < 3:
+        while i < len(data) and data[i : i + 1].isspace():
+            i += 1
+        if data[i : i + 1] == b"#":
+            while i < len(data) and data[i : i + 1] != b"\n":
+                i += 1
+            continue
+        start = i
+        while i < len(data) and not data[i : i + 1].isspace():
+            i += 1
+        fields.append(data[start:i])
+    i += 1  # single whitespace after maxval
+    w, h, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    body = data[i : i + w * h * 3]
+    if len(body) != w * h * 3:
+        raise ValueError("truncated PPM body")
+    return np.frombuffer(body, dtype=np.uint8).reshape(h, w, 3).copy()
+
+
+def save_radiance_ppm(radiance: np.ndarray, path: str | Path, key: float = 0.4) -> None:
+    """Tone-map a radiance array and write it as PPM in one step."""
+    write_ppm(to_uint8(radiance, key=key), path)

@@ -1,0 +1,45 @@
+"""Tone mapping: radiance arrays to displayable 8-bit images."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reinhard", "gamma_encode", "to_uint8", "exposure_scale"]
+
+
+def exposure_scale(radiance: np.ndarray, key: float = 0.4) -> float:
+    """Exposure that maps the log-average luminance to *key*.
+
+    Zero pixels (background) are excluded from the average so an empty
+    border does not blow out the scene.
+    """
+    arr = np.asarray(radiance, dtype=np.float64)
+    lum = 0.299 * arr[..., 0] + 0.587 * arr[..., 1] + 0.114 * arr[..., 2]
+    positive = lum[lum > 0.0]
+    if positive.size == 0:
+        return 1.0
+    log_avg = float(np.exp(np.mean(np.log(positive + 1e-12))))
+    return key / log_avg
+
+
+def reinhard(radiance: np.ndarray, key: float = 0.4) -> np.ndarray:
+    """Global Reinhard operator: ``L / (1 + L)`` after exposure scaling.
+
+    Returns values in [0, 1).
+    """
+    arr = np.asarray(radiance, dtype=np.float64)
+    scaled = arr * exposure_scale(arr, key)
+    return scaled / (1.0 + scaled)
+
+
+def gamma_encode(linear: np.ndarray, gamma: float = 2.2) -> np.ndarray:
+    """Standard display gamma; input clipped to [0, 1]."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    return np.clip(linear, 0.0, 1.0) ** (1.0 / gamma)
+
+
+def to_uint8(radiance: np.ndarray, key: float = 0.4, gamma: float = 2.2) -> np.ndarray:
+    """Full pipeline: Reinhard + gamma + quantise to uint8."""
+    mapped = gamma_encode(reinhard(radiance, key), gamma)
+    return (mapped * 255.0 + 0.5).astype(np.uint8)

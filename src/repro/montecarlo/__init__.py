@@ -1,0 +1,51 @@
+"""Monte Carlo substrate: split statistics, adaptive histograms, integration."""
+
+from .densityestimation import (
+    DensityEstimationResult,
+    HIT_RECORD_BYTES,
+    density_phase_speedup,
+    run_density_estimation,
+)
+from .histogram import (
+    AdaptiveHistogram,
+    FixedHistogram,
+    HistogramBin,
+    l1_density_error,
+)
+from .integration import (
+    IntegrationResult,
+    expected_value,
+    hit_or_miss_area,
+    integrate_importance,
+    integrate_uniform,
+)
+from .stats import (
+    DEFAULT_MIN_COUNT,
+    DEFAULT_SPLIT_THRESHOLD,
+    RunningMeanVar,
+    normal_approximation_valid,
+    should_split,
+    split_statistic,
+)
+
+__all__ = [
+    "AdaptiveHistogram",
+    "DEFAULT_MIN_COUNT",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "DensityEstimationResult",
+    "FixedHistogram",
+    "HIT_RECORD_BYTES",
+    "density_phase_speedup",
+    "run_density_estimation",
+    "HistogramBin",
+    "IntegrationResult",
+    "RunningMeanVar",
+    "expected_value",
+    "hit_or_miss_area",
+    "integrate_importance",
+    "integrate_uniform",
+    "l1_density_error",
+    "normal_approximation_valid",
+    "should_split",
+    "split_statistic",
+]

@@ -1,0 +1,141 @@
+"""Monte Carlo integration primitives (chapter 3 background).
+
+These utilities implement the two estimator families the dissertation
+distinguishes: *Monte Carlo integration*, where random variates estimate a
+definite integral but never steer control flow, and *hit-or-miss
+simulation*, where the random process itself is the model.  They back the
+chapter-3 tests and the BRDF normalisation checks in the reflection
+module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..rng import Lcg48
+from .stats import RunningMeanVar
+
+__all__ = [
+    "IntegrationResult",
+    "integrate_uniform",
+    "integrate_importance",
+    "hit_or_miss_area",
+    "expected_value",
+]
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Estimate with its standard error and sample count."""
+
+    value: float
+    standard_error: float
+    samples: int
+
+    def within(self, truth: float, sigmas: float = 4.0) -> bool:
+        """True when *truth* lies within *sigmas* standard errors."""
+        if self.standard_error == 0.0:
+            return self.value == truth
+        return abs(self.value - truth) <= sigmas * self.standard_error
+
+
+def integrate_uniform(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    samples: int,
+    rng: Optional[Lcg48] = None,
+) -> IntegrationResult:
+    """Estimate ``int_lo^hi f(x) dx`` with uniform sampling.
+
+    Implements equation (3.6) with ``p(x) = 1 / (hi - lo)``.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    rng = rng or Lcg48()
+    width = hi - lo
+    acc = RunningMeanVar()
+    for _ in range(samples):
+        x = lo + rng.uniform() * width
+        acc.add(f(x) * width)
+    return IntegrationResult(acc.mean, acc.standard_error(), samples)
+
+
+def integrate_importance(
+    f: Callable[[float], float],
+    sampler: Callable[[Lcg48], float],
+    pdf: Callable[[float], float],
+    samples: int,
+    rng: Optional[Lcg48] = None,
+) -> IntegrationResult:
+    """Importance-sampled estimate ``E[f(X)/p(X)]``, eq. (3.6).
+
+    Args:
+        sampler: Draws X ~ pdf using the provided stream.
+        pdf: Density of the sampler; must be strictly positive wherever
+            *f* is nonzero (eq. 3.1 guarantees no division by zero, but a
+            tiny pdf amplifies roundoff — the caveat the paper notes).
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = rng or Lcg48()
+    acc = RunningMeanVar()
+    for _ in range(samples):
+        x = sampler(rng)
+        p = pdf(x)
+        if p <= 0.0:
+            raise ValueError(f"sampler produced x={x} where pdf={p} <= 0")
+        acc.add(f(x) / p)
+    return IntegrationResult(acc.mean, acc.standard_error(), samples)
+
+
+def hit_or_miss_area(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    f_max: float,
+    samples: int,
+    rng: Optional[Lcg48] = None,
+) -> IntegrationResult:
+    """Hit-or-miss estimate of the area under non-negative *f*.
+
+    The chapter-3 simulation picture: throw points into the bounding
+    rectangle, count those under the curve.  The binomial standard error
+    follows from the hit fraction.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    if f_max <= 0.0:
+        raise ValueError("f_max must be positive")
+    rng = rng or Lcg48()
+    width = hi - lo
+    hits = 0
+    for _ in range(samples):
+        x = lo + rng.uniform() * width
+        y = rng.uniform() * f_max
+        if y <= f(x):
+            hits += 1
+    p = hits / samples
+    box = width * f_max
+    stderr = box * math.sqrt(max(p * (1.0 - p), 0.0) / samples)
+    return IntegrationResult(box * p, stderr, samples)
+
+
+def expected_value(
+    f: Callable[[float], float],
+    sampler: Callable[[Lcg48], float],
+    samples: int,
+    rng: Optional[Lcg48] = None,
+) -> IntegrationResult:
+    """Plain ``E[f(X)]`` under the sampler's distribution (eq. 3.5)."""
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = rng or Lcg48()
+    acc = RunningMeanVar()
+    for _ in range(samples):
+        acc.add(f(sampler(rng)))
+    return IntegrationResult(acc.mean, acc.standard_error(), samples)

@@ -1,0 +1,129 @@
+"""Statistical machinery behind adaptive histogramming.
+
+A histogram bin is hypothesised to hold a uniform distribution, so each
+arriving sample falls in the bin's left half with probability p and right
+half with q = 1 - p.  The daughter counts are then binomial; once enough
+samples accumulate the binomial is well approximated by a normal with
+mean np and standard deviation sqrt(npq), and the bin is split when the
+daughters differ by more than ``threshold`` standard deviations (the
+dissertation uses 3, giving 99.7 % confidence; chapter 3 and 4 discuss
+the storage-vs-error trade of other thresholds — see the split-sigma
+ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "split_statistic",
+    "should_split",
+    "normal_approximation_valid",
+    "RunningMeanVar",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "DEFAULT_MIN_COUNT",
+]
+
+#: The dissertation's 3-sigma criterion.
+DEFAULT_SPLIT_THRESHOLD = 3.0
+
+#: "If we wait until we have a significant number of points in a bin before
+#: we decide to split" — the normal approximation needs np and nq of at
+#: least a handful; 16 keeps false splits rare without starving refinement.
+DEFAULT_MIN_COUNT = 16
+
+
+def split_statistic(left: int, right: int) -> float:
+    """Number of standard deviations separating the daughter counts.
+
+    Follows chapter 4: p is estimated from the daughter with the most
+    photons ("to improve accuracy, p is calculated based on the daughter
+    bin with the most photons"), sigma = sqrt(n p q), and the statistic is
+    ``|left - right| / (2 * sigma_half)`` where sigma_half describes one
+    daughter count.  Equivalently we measure how far the larger count
+    sits from the even-split mean n/2 in units of sqrt(n p q).
+
+    Returns 0.0 when fewer than 2 samples have arrived (nothing to test).
+    """
+    if left < 0 or right < 0:
+        raise ValueError("daughter counts must be non-negative")
+    n = left + right
+    if n < 2:
+        return 0.0
+    big = left if left >= right else right
+    p = big / n
+    q = 1.0 - p
+    if q <= 0.0:
+        # All samples on one side: infinitely significant once n is real.
+        return math.inf
+    sigma = math.sqrt(n * p * q)
+    return (big - n / 2.0) / sigma
+
+
+def should_split(
+    left: int,
+    right: int,
+    *,
+    threshold: float = DEFAULT_SPLIT_THRESHOLD,
+    min_count: int = DEFAULT_MIN_COUNT,
+) -> bool:
+    """The dissertation's split decision for one candidate axis.
+
+    Args:
+        left / right: Speculative daughter tallies.
+        threshold: Rejection level in standard deviations (paper: 3).
+        min_count: Minimum total tally before the normal approximation is
+            trusted.
+    """
+    n = left + right
+    if n < min_count:
+        return False
+    return split_statistic(left, right) > threshold
+
+
+def normal_approximation_valid(left: int, right: int, minimum: float = 5.0) -> bool:
+    """Rule-of-thumb check that np and nq both exceed *minimum*."""
+    n = left + right
+    if n == 0:
+        return False
+    big = max(left, right)
+    p = big / n
+    return n * p >= minimum and n * (1.0 - p) >= minimum
+
+
+@dataclass
+class RunningMeanVar:
+    """Welford's online mean/variance, used by performance traces.
+
+    Attributes:
+        count: Number of samples accumulated.
+        mean: Running mean.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        """Accumulate one observation."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance())
+
+    def standard_error(self) -> float:
+        """Standard error of the mean (0 with no samples)."""
+        if self.count == 0:
+            return 0.0
+        return self.std() / math.sqrt(self.count)

@@ -1,0 +1,90 @@
+"""Batch-means variance estimation for correlated Monte Carlo streams.
+
+Photon's per-batch speed samples and per-bin tallies are weakly
+correlated in time (splits change the forest mid-run), so naive i.i.d.
+standard errors understate uncertainty.  The batch-means method — group
+the stream into contiguous batches, treat batch averages as independent
+— is the standard remedy and what the performance traces' error bands
+use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BatchMeans", "batch_means", "autocorrelation"]
+
+
+@dataclass(frozen=True)
+class BatchMeans:
+    """Result of a batch-means analysis.
+
+    Attributes:
+        mean: Grand mean of the stream.
+        standard_error: Standard error estimated from batch averages.
+        batches: Number of batches used.
+        batch_size: Observations per batch (last partial batch dropped).
+    """
+
+    mean: float
+    standard_error: float
+    batches: int
+    batch_size: int
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the (default 95 %) normal confidence interval."""
+        return z * self.standard_error
+
+
+def batch_means(samples: Sequence[float], batches: int = 16) -> BatchMeans:
+    """Batch-means mean and standard error of *samples*.
+
+    Args:
+        samples: The observation stream, in order.
+        batches: Batch count; must leave at least 2 full batches.
+
+    Raises:
+        ValueError: when the stream is too short for the batch count.
+    """
+    if batches < 2:
+        raise ValueError("need at least 2 batches")
+    n = len(samples)
+    size = n // batches
+    if size < 1:
+        raise ValueError(f"{n} samples cannot fill {batches} batches")
+    means = []
+    for b in range(batches):
+        chunk = samples[b * size : (b + 1) * size]
+        means.append(sum(chunk) / size)
+    grand = sum(means) / batches
+    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    return BatchMeans(
+        mean=grand,
+        standard_error=math.sqrt(var / batches),
+        batches=batches,
+        batch_size=size,
+    )
+
+
+def autocorrelation(samples: Sequence[float], lag: int = 1) -> float:
+    """Lag-*lag* autocorrelation coefficient of the stream.
+
+    Raises:
+        ValueError: when the stream is shorter than ``lag + 2`` or has
+            zero variance.
+    """
+    n = len(samples)
+    if lag < 1:
+        raise ValueError("lag must be >= 1")
+    if n < lag + 2:
+        raise ValueError("stream too short for this lag")
+    mean = sum(samples) / n
+    den = sum((x - mean) ** 2 for x in samples)
+    if den == 0.0:
+        raise ValueError("zero-variance stream has undefined autocorrelation")
+    num = sum(
+        (samples[i] - mean) * (samples[i + lag] - mean) for i in range(n - lag)
+    )
+    return num / den

@@ -1,0 +1,68 @@
+"""Parallel Photon: MPI-like substrate, shared- and distributed-memory drivers."""
+
+from .distributed import (
+    DistributedConfig,
+    DistributedResult,
+    RankResult,
+    build_balance,
+    distributed_worker,
+    merge_rank_forests,
+    rank_share,
+    run_distributed,
+    serial_replay,
+)
+from .geomdist import (
+    GeomDistConfig,
+    GeomDistResult,
+    GeomRankResult,
+    RegionGrid,
+    run_geometry_distributed,
+    serial_reference_tallies,
+)
+from .loadbalance import (
+    Assignment,
+    DEFAULT_PILOT_PHOTONS,
+    OwnershipMap,
+    UnitInfo,
+    assign_units,
+    load_imbalance,
+    pilot_counts,
+    pilot_forest,
+)
+from .mpi import ANY_SOURCE, CommStats, SimComm, run_parallel
+from .shared import RWLock, SharedConfig, SharedForest, SharedResult, run_shared
+
+__all__ = [
+    "ANY_SOURCE",
+    "Assignment",
+    "CommStats",
+    "DEFAULT_PILOT_PHOTONS",
+    "DistributedConfig",
+    "DistributedResult",
+    "GeomDistConfig",
+    "GeomDistResult",
+    "GeomRankResult",
+    "OwnershipMap",
+    "RegionGrid",
+    "run_geometry_distributed",
+    "serial_reference_tallies",
+    "RWLock",
+    "RankResult",
+    "SharedConfig",
+    "SharedForest",
+    "SharedResult",
+    "SimComm",
+    "UnitInfo",
+    "assign_units",
+    "build_balance",
+    "distributed_worker",
+    "load_imbalance",
+    "merge_rank_forests",
+    "pilot_counts",
+    "pilot_forest",
+    "rank_share",
+    "run_distributed",
+    "run_parallel",
+    "run_shared",
+    "serial_replay",
+]

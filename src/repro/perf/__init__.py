@@ -1,0 +1,29 @@
+"""Performance analysis: speedup extraction, laws, report rendering."""
+
+from .laws import (
+    amdahl_speedup,
+    gustafson_speedup,
+    karp_flatt_metric,
+    serial_fraction_from_speedup,
+)
+from .report import ascii_traces, format_table, graph_of_graphs
+from .speedup import (
+    SpeedupTable,
+    fixed_size_speedup,
+    fixed_time_speedup,
+    speedup_table,
+)
+
+__all__ = [
+    "SpeedupTable",
+    "amdahl_speedup",
+    "ascii_traces",
+    "fixed_size_speedup",
+    "fixed_time_speedup",
+    "format_table",
+    "graph_of_graphs",
+    "gustafson_speedup",
+    "karp_flatt_metric",
+    "serial_fraction_from_speedup",
+    "speedup_table",
+]

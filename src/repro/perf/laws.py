@@ -1,0 +1,83 @@
+"""Speedup laws: Amdahl's and Gustafson's models.
+
+Chapter 5 frames its methodology around the fixed-size versus fixed-time
+distinction of Gustafson's "Reevaluating Amdahl's Law" (the
+dissertation's advisor).  These closed forms let the benches and README
+relate measured trace speedups to the two classical models:
+
+* **Amdahl (fixed size)** — with serial fraction f, speedup on P
+  processors is bounded by ``1 / (f + (1 - f) / P)``.
+* **Gustafson (fixed time / scaled)** — if the parallel part scales
+  with the machine, speedup is ``P - f * (P - 1)``.
+
+Photon's workload is the Gustafson regime almost by construction: the
+photon budget grows with the machine while the serial part (load
+balancing, startup) stays fixed — which is why the paper reports speed
+*traces* rather than single fixed-size numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "serial_fraction_from_speedup",
+    "karp_flatt_metric",
+]
+
+
+def _check(f: float, processors: int) -> None:
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"serial fraction must be in [0, 1], got {f}")
+    if processors < 1:
+        raise ValueError(f"processor count must be >= 1, got {processors}")
+
+
+def amdahl_speedup(serial_fraction: float, processors: int) -> float:
+    """Fixed-size speedup bound: 1 / (f + (1 - f)/P)."""
+    _check(serial_fraction, processors)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / processors)
+
+
+def gustafson_speedup(serial_fraction: float, processors: int) -> float:
+    """Scaled (fixed-time) speedup: P - f (P - 1)."""
+    _check(serial_fraction, processors)
+    return processors - serial_fraction * (processors - 1)
+
+
+def serial_fraction_from_speedup(speedup: float, processors: int) -> float:
+    """Invert Gustafson's law: f = (P - S) / (P - 1).
+
+    Useful for reading an effective serial fraction off a measured
+    fixed-time speedup (e.g. the SP-2 copy overhead shows up here).
+
+    Raises:
+        ValueError: for P < 2 or speedups outside (0, P].
+    """
+    if processors < 2:
+        raise ValueError("need at least 2 processors to infer a fraction")
+    if not 0.0 < speedup <= processors:
+        raise ValueError(
+            f"speedup must be in (0, {processors}] for {processors} processors"
+        )
+    return (processors - speedup) / (processors - 1)
+
+
+def karp_flatt_metric(speedups: Sequence[tuple[int, float]]) -> list[float]:
+    """Experimentally determined serial fraction per (P, speedup) pair.
+
+    The Karp–Flatt metric ``e = (1/S - 1/P) / (1 - 1/P)`` diagnoses
+    *why* scaling degrades: a constant e across P means a genuine serial
+    fraction; a growing e means overhead growing with P (the SP-2's
+    per-message buffer copies, for instance).
+    """
+    out = []
+    for processors, speedup in speedups:
+        if processors < 2:
+            raise ValueError("Karp–Flatt needs P >= 2")
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        out.append((1.0 / speedup - 1.0 / processors) / (1.0 - 1.0 / processors))
+    return out

@@ -1,0 +1,129 @@
+"""ASCII rendering of the paper's performance presentations.
+
+Two novel visualisations close chapter 5: log-log speed-vs-time traces
+with a speedup scale, and the "graph of graphs" (Figure 5.15) whose
+outer axes are scene complexity and processor coupling.  The benches
+print terminal renderings of both so the reproduction's output can be
+eyeballed against the published figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..cluster.runner import SpeedTrace
+
+__all__ = ["format_table", "ascii_traces", "graph_of_graphs"]
+
+_GLYPHS = "1248abcdefg"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _log_pos(value: float, lo: float, hi: float, steps: int) -> int:
+    if value <= lo:
+        return 0
+    if value >= hi:
+        return steps - 1
+    frac = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    return min(int(frac * (steps - 1) + 0.5), steps - 1)
+
+
+def ascii_traces(
+    traces: Mapping[int, SpeedTrace],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Log-log speed-vs-time plot of a trace family (one published figure).
+
+    Each rank count plots with its own glyph ('1', '2', '4', '8', then
+    letters).  Axes are annotated with their data ranges.
+    """
+    all_samples = [s for t in traces.values() for s in t.samples]
+    if not all_samples:
+        raise ValueError("no samples to plot")
+    t_lo = max(min(s.time for s in all_samples), 1e-6)
+    t_hi = max(s.time for s in all_samples)
+    r_lo = max(min(s.rate for s in all_samples), 1e-6)
+    r_hi = max(s.rate for s in all_samples)
+    if t_hi <= t_lo:
+        t_hi = t_lo * 10
+    if r_hi <= r_lo:
+        r_hi = r_lo * 10
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, ranks in enumerate(sorted(traces)):
+        glyph = _GLYPHS[min(idx, len(_GLYPHS) - 1)]
+        for s in traces[ranks].samples:
+            x = _log_pos(s.time, t_lo, t_hi, width)
+            y = height - 1 - _log_pos(s.rate, r_lo, r_hi, height)
+            grid[y][x] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"photons/sec (log) {r_lo:.3g} .. {r_hi:.3g}")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" time (log) {t_lo:.3g}s .. {t_hi:.3g}s   glyph = processor count")
+    return "\n".join(lines)
+
+
+def graph_of_graphs(
+    families: Mapping[str, Mapping[str, Mapping[int, SpeedTrace]]],
+    *,
+    cell_width: int = 34,
+    cell_height: int = 9,
+) -> str:
+    """Figure 5.15: a grid of trace plots, platforms x scenes.
+
+    Args:
+        families: platform name -> scene name -> trace family.  The
+            outer horizontal axis (columns) is scene complexity, the
+            vertical axis (rows) is processor coupling, matching the
+            published layout.
+    """
+    platforms = list(families)
+    scenes: list[str] = []
+    for by_scene in families.values():
+        for scene in by_scene:
+            if scene not in scenes:
+                scenes.append(scene)
+
+    blocks: list[str] = []
+    header = " | ".join(s.center(cell_width) for s in scenes)
+    blocks.append(" " * 18 + header)
+    for platform in platforms:
+        row_plots = []
+        for scene in scenes:
+            family = families[platform].get(scene)
+            if family is None:
+                row_plots.append([" " * cell_width] * (cell_height + 2))
+                continue
+            plot = ascii_traces(
+                family, width=cell_width, height=cell_height
+            ).splitlines()[1:]  # drop the rate-range line for compactness
+            plot = [line[: cell_width + 1].ljust(cell_width + 1) for line in plot]
+            row_plots.append(plot)
+        depth = max(len(p) for p in row_plots)
+        for p in row_plots:
+            p += [" " * (cell_width + 1)] * (depth - len(p))
+        label = platform[:16].ljust(16)
+        for line_idx in range(depth):
+            prefix = label if line_idx == depth // 2 else " " * 16
+            blocks.append(prefix + "  " + " | ".join(p[line_idx] for p in row_plots))
+        blocks.append("")
+    blocks.append("rows: increasing coupling cost; columns: increasing scene complexity")
+    return "\n".join(blocks)

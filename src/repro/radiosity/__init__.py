@@ -1,0 +1,33 @@
+"""Radiosity baselines: form factors, matrix solve, hierarchical refinement."""
+
+from .formfactor import form_factor_matrix, patch_form_factor, point_form_factor
+from .hierarchical import (
+    Element,
+    HierarchicalConfig,
+    HierarchicalSolution,
+    solve_hierarchical,
+)
+from .matrix import (
+    RadiositySolution,
+    RadiositySolveInfo,
+    assemble_system,
+    gauss_seidel,
+    jacobi,
+    solve_radiosity,
+)
+
+__all__ = [
+    "Element",
+    "HierarchicalConfig",
+    "HierarchicalSolution",
+    "RadiositySolution",
+    "RadiositySolveInfo",
+    "assemble_system",
+    "form_factor_matrix",
+    "gauss_seidel",
+    "jacobi",
+    "patch_form_factor",
+    "point_form_factor",
+    "solve_hierarchical",
+    "solve_radiosity",
+]

@@ -1,0 +1,5 @@
+"""Whitted ray-tracing baseline (chapter 2)."""
+
+from .whitted import WhittedConfig, render_whitted, trace_ray
+
+__all__ = ["WhittedConfig", "render_whitted", "trace_ray"]

@@ -1,0 +1,5 @@
+"""Parallel pseudo-random number generation (period-2^48 LCG substreams)."""
+
+from .lcg import INCREMENT, MODULUS, MODULUS_BITS, MULTIPLIER, Lcg48
+
+__all__ = ["Lcg48", "MULTIPLIER", "INCREMENT", "MODULUS", "MODULUS_BITS"]

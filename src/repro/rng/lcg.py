@@ -1,0 +1,168 @@
+"""48-bit linear congruential generator with parallel substreams.
+
+The dissertation specifies a generator of period 2^48 that "scales to any
+parallel ensemble of 2^k processors": the sequence is divided into P
+subsequences so that no two ranks ever consume the same variate (the
+leapfrog method; Aluru, Gustafson & Prabhu 1992).  We use the classic
+``drand48`` recurrence
+
+    x_{n+1} = (a * x_n + c) mod 2^48,   a = 0x5DEECE66D, c = 0xB
+
+which has full period 2^48, and provide both decompositions discussed in
+the parallel-RNG literature the paper cites:
+
+* **leapfrog** — rank *i* of *P* consumes x_i, x_{i+P}, x_{i+2P}, ...
+  (one :math:`O(\\log P)` jump to derive the strided recurrence);
+* **block splitting** — rank *i* starts at x_{i * 2^48 / P} and walks the
+  original recurrence (one :math:`O(48)` jump-ahead).
+
+Either guarantees disjoint substreams with individual period 2^48 / P,
+matching the paper's statement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Lcg48", "MULTIPLIER", "INCREMENT", "MODULUS_BITS", "MODULUS"]
+
+MULTIPLIER = 0x5DEECE66D
+INCREMENT = 0xB
+MODULUS_BITS = 48
+MODULUS = 1 << MODULUS_BITS
+_MASK = MODULUS - 1
+_INV_MODULUS = 1.0 / MODULUS
+
+
+def _affine_power(a: int, c: int, k: int) -> tuple[int, int]:
+    """Compose the affine map ``x -> a x + c (mod 2^48)`` with itself k times.
+
+    Returns ``(A, C)`` with ``x_{n+k} = A * x_n + C (mod 2^48)`` in
+    O(log k) doubling steps.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result_a, result_c = 1, 0  # identity map
+    base_a, base_c = a & _MASK, c & _MASK
+    while k:
+        if k & 1:
+            # result = base o result : x -> base_a*(result_a*x+result_c)+base_c
+            result_a = (base_a * result_a) & _MASK
+            result_c = (base_a * result_c + base_c) & _MASK
+        # base = base o base
+        base_c = (base_a * base_c + base_c) & _MASK
+        base_a = (base_a * base_a) & _MASK
+        k >>= 1
+    return result_a, result_c
+
+
+class Lcg48:
+    """A drand48-style LCG stream.
+
+    Args:
+        seed: Initial 48-bit state (wider seeds are masked).
+        multiplier / increment: Recurrence coefficients.  The defaults give
+            the full-period drand48 generator; substream constructors
+            override them with the composed k-step coefficients.
+    """
+
+    __slots__ = ("state", "a", "c", "_draws")
+
+    def __init__(
+        self,
+        seed: int = 0x1234ABCD330E,
+        *,
+        multiplier: int = MULTIPLIER,
+        increment: int = INCREMENT,
+    ) -> None:
+        self.state = seed & _MASK
+        self.a = multiplier & _MASK
+        self.c = increment & _MASK
+        self._draws = 0
+
+    # -- core draws -----------------------------------------------------------
+
+    def next_raw(self) -> int:
+        """Advance and return the raw 48-bit state."""
+        self.state = (self.a * self.state + self.c) & _MASK
+        self._draws += 1
+        return self.state
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next_raw() * _INV_MODULUS
+
+    def uniform_signed(self) -> float:
+        """Uniform float in [-1, 1) — the ``random()*2 - 1`` of Figure 4.3."""
+        return self.next_raw() * (2.0 * _INV_MODULUS) - 1.0
+
+    def randint(self, n: int) -> int:
+        """Uniform integer in [0, n) by scaled draw (n << 2^48 so bias ~0)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return int(self.uniform() * n)
+
+    @property
+    def draws(self) -> int:
+        """Number of variates consumed (used in duplication audits)."""
+        return self._draws
+
+    def fork_jump(self, k: int) -> "Lcg48":
+        """A new stream positioned k steps ahead of this one, same stride."""
+        a_k, c_k = _affine_power(self.a, self.c, k)
+        child = Lcg48(
+            (a_k * self.state + c_k) & _MASK,
+            multiplier=self.a,
+            increment=self.c,
+        )
+        return child
+
+    def iter_uniform(self, n: int) -> Iterator[float]:
+        """Yield *n* uniform variates."""
+        for _ in range(n):
+            yield self.uniform()
+
+    # -- parallel substreams -----------------------------------------------------
+
+    @classmethod
+    def leapfrog(cls, seed: int, rank: int, size: int) -> "Lcg48":
+        """Rank *rank*'s leapfrog substream out of *size*.
+
+        The substream consumes x_{rank}, x_{rank+size}, ... of the base
+        sequence seeded with *seed*; its effective period is 2^48 / size
+        when size is a power of two (the paper's 2^k-processor claim).
+        """
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        base = cls(seed)
+        # The serial stream consumes x_1, x_2, ...; rank i must consume
+        # x_{i+1}, x_{i+1+P}, ...  With the stride-P recurrence the state
+        # must therefore *start* at x_{i+1-P}, i.e. one stride before the
+        # first draw.  Compute x_{i+1}, then step back one stride using
+        # the modular inverse of the composed map (A_P is odd, hence
+        # invertible mod 2^48).
+        a_r, c_r = _affine_power(MULTIPLIER, INCREMENT, rank + 1)
+        first_draw = (a_r * base.state + c_r) & _MASK
+        a_p, c_p = _affine_power(MULTIPLIER, INCREMENT, size)
+        a_p_inv = pow(a_p, -1, MODULUS)
+        start = (a_p_inv * ((first_draw - c_p) & _MASK)) & _MASK
+        return cls(start, multiplier=a_p, increment=c_p)
+
+    @classmethod
+    def block_split(cls, seed: int, rank: int, size: int) -> "Lcg48":
+        """Rank *rank*'s block substream: starts at x_{rank * 2^48 / size}.
+
+        This matches the dissertation's description ("divides the sequence
+        into P equal parts ... calculates the beginning point in the
+        appropriate subsequence").
+        """
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        block = MODULUS // size
+        base = cls(seed)
+        a_k, c_k = _affine_power(MULTIPLIER, INCREMENT, rank * block)
+        start = (a_k * base.state + c_k) & _MASK
+        return cls(start)
+
+    def __repr__(self) -> str:
+        return f"Lcg48(state={self.state:#014x}, draws={self._draws})"

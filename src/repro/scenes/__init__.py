@@ -1,0 +1,43 @@
+"""The three test scenes of Table 5.1 plus a registry for the harnesses."""
+
+from typing import Callable
+
+from ..geometry import Scene
+from .cornell import CORNELL_DEFAULT_CAMERA, cornell_box
+from .harpsichord import HARPSICHORD_DEFAULT_CAMERA, harpsichord_room
+from .lab import LAB_DEFAULT_CAMERA, computer_lab
+
+__all__ = [
+    "cornell_box",
+    "harpsichord_room",
+    "computer_lab",
+    "scene_registry",
+    "build_scene",
+    "CORNELL_DEFAULT_CAMERA",
+    "HARPSICHORD_DEFAULT_CAMERA",
+    "LAB_DEFAULT_CAMERA",
+]
+
+
+def scene_registry() -> dict[str, Callable[[], Scene]]:
+    """Name -> builder mapping in Table 5.1 order."""
+    return {
+        "cornell-box": cornell_box,
+        "harpsichord-room": harpsichord_room,
+        "computer-lab": computer_lab,
+    }
+
+
+def build_scene(name: str) -> Scene:
+    """Build a registered scene by name.
+
+    Raises:
+        KeyError: for unknown names, listing the valid ones.
+    """
+    registry = scene_registry()
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scene {name!r}; valid names: {sorted(registry)}"
+        ) from None

@@ -1,0 +1,139 @@
+"""The Cornell Box with a floating mirror (Figure 4.8).
+
+The classic radiosity test room — white floor/ceiling/back, red left
+wall, green right wall, a ceiling luminaire and two blocks — "floating in
+the center of the room is a mirror, added for purposes of testing
+Photon."  The mirror is why this 30-polygon scene grows the *largest*
+view-dependent polygon count in Table 5.1 (397,000): specular surfaces
+force angular bin refinement.
+
+Geometry is a 2x2x2 room with y up, matching the published renders'
+proportions; all dimensions are in metres.
+"""
+
+from __future__ import annotations
+
+from ..geometry import (
+    Material,
+    RGB,
+    Scene,
+    Vec3,
+    axis_rect,
+    box,
+    matte,
+    mirror,
+)
+from ..geometry.material import emitter
+
+__all__ = ["cornell_box", "CORNELL_DEFAULT_CAMERA"]
+
+
+def _tilted_panel(center: Vec3, width: float, height: float, thickness: float,
+                  face_material: Material, edge_material: Material,
+                  yaw_degrees: float = 28.0) -> list:
+    """A thin vertical panel yawed about the y axis: two mirror faces
+    plus four matte edges.
+
+    The yaw matters: a panel parallel to the back wall would only ever
+    reflect the open front (black); tilted, the mirror shows the red and
+    green walls from the published viewpoint.
+    """
+    import math
+
+    from ..geometry.builders import quad_from_corners
+
+    yaw = math.radians(yaw_degrees)
+    # Local frame: u spans the width, v the height (world y), w the
+    # thickness (the mirror faces' normal direction).
+    u = Vec3(math.cos(yaw), 0.0, -math.sin(yaw))
+    v = Vec3(0.0, 1.0, 0.0)
+    w = Vec3(math.sin(yaw), 0.0, math.cos(yaw))
+    hw, hh, ht = width / 2, height / 2, thickness / 2
+    c = center
+
+    def corner(su: float, sv: float, sw: float) -> Vec3:
+        return Vec3(
+            c.x + su * hw * u.x + sv * hh * v.x + sw * ht * w.x,
+            c.y + su * hw * u.y + sv * hh * v.y + sw * ht * w.y,
+            c.z + su * hw * u.z + sv * hh * v.z + sw * ht * w.z,
+        )
+
+    return [
+        quad_from_corners(
+            corner(-1, -1, +1), corner(+1, -1, +1), corner(-1, +1, +1),
+            face_material, name="mirror.front",
+        ),
+        quad_from_corners(
+            corner(+1, -1, -1), corner(-1, -1, -1), corner(+1, +1, -1),
+            face_material, name="mirror.back",
+        ),
+        quad_from_corners(
+            corner(-1, +1, +1), corner(+1, +1, +1), corner(-1, +1, -1),
+            edge_material, name="mirror.top",
+        ),
+        quad_from_corners(
+            corner(-1, -1, -1), corner(+1, -1, -1), corner(-1, -1, +1),
+            edge_material, name="mirror.bottom",
+        ),
+        quad_from_corners(
+            corner(-1, -1, +1), corner(-1, +1, +1), corner(-1, -1, -1),
+            edge_material, name="mirror.left",
+        ),
+        quad_from_corners(
+            corner(+1, -1, -1), corner(+1, +1, -1), corner(+1, -1, +1),
+            edge_material, name="mirror.right",
+        ),
+    ]
+
+
+def cornell_box(*, mirror_reflectance: float = 0.95) -> Scene:
+    """Build the Cornell Box test scene (~30 defining polygons).
+
+    Args:
+        mirror_reflectance: Reflectance of the floating mirror; the test
+            suite lowers it to shorten specular chains.
+    """
+    white = matte("white", 0.73, 0.73, 0.73)
+    red = matte("red", 0.61, 0.06, 0.06)
+    green = matte("green", 0.10, 0.47, 0.09)
+    grey = matte("grey", 0.35, 0.35, 0.35)
+    lamp = emitter("lamp", 18.0, 15.0, 10.0)
+    glass = mirror("mirror", mirror_reflectance)
+
+    patches = []
+    # Room shell (5): y up, x right, z toward the viewer; the front
+    # (+z) face is open so the camera can look in, as in the published
+    # renders.  Exactly 30 defining polygons total, matching Table 5.1.
+    patches.append(axis_rect("y", 0.0, (0.0, 2.0), (0.0, 2.0), white, name="floor", flip=True))
+    patches.append(axis_rect("y", 2.0, (0.0, 2.0), (0.0, 2.0), white, name="ceiling"))
+    patches.append(axis_rect("x", 0.0, (0.0, 2.0), (0.0, 2.0), red, name="left-wall"))
+    patches.append(axis_rect("x", 2.0, (0.0, 2.0), (0.0, 2.0), green, name="right-wall", flip=True))
+    patches.append(axis_rect("z", 0.0, (0.0, 2.0), (0.0, 2.0), white, name="back-wall"))
+
+    # Ceiling luminaire (1), slightly below the ceiling plane, facing down.
+    patches.append(
+        axis_rect("y", 1.98, (0.7, 1.3), (0.7, 1.3), lamp, name="light", flip=False)
+    )
+
+    # Tall block (6) and short block (6).
+    patches += box(Vec3(0.25, 0.0, 0.3), Vec3(0.75, 1.2, 0.8), white, name="tall-block")
+    patches += box(Vec3(1.2, 0.0, 1.1), Vec3(1.75, 0.6, 1.65), white, name="short-block")
+
+    # Small grey pedestal block (6) under the mirror.
+    patches += box(Vec3(0.9, 0.0, 0.45), Vec3(1.1, 0.18, 0.65), grey, name="pedestal")
+
+    # Floating mirror panel (6): two mirror faces + matte edges.
+    patches += _tilted_panel(
+        Vec3(1.0, 1.0, 0.55), 0.9, 0.7, 0.02, glass, grey
+    )
+
+    return Scene(patches, name="cornell-box")
+
+
+#: Camera matching the published view: just outside the open front,
+#: looking in, with the box mouth filling the frame.
+CORNELL_DEFAULT_CAMERA = dict(
+    position=Vec3(1.0, 1.0, 3.9),
+    look_at=Vec3(1.0, 1.0, 0.0),
+    vertical_fov_degrees=39.0,
+)

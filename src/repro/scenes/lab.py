@@ -1,0 +1,144 @@
+"""The Computer Laboratory (Figure 5.1): ~2000 defining polygons.
+
+The paper's largest scene: rows of workstations under an even grid of
+ceiling lights.  The uniform light distribution is why this scene shows
+the most uniform speedup ("the speedup for this geometry is more uniform
+because there is a more even distribution of light through the room") —
+the Best-Fit load balance finds little imbalance to fix, and memory
+contention spreads across the forest.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Scene, Vec3, axis_rect, box, matte, table
+from ..geometry.material import emitter, glossy
+
+__all__ = ["computer_lab", "LAB_DEFAULT_CAMERA"]
+
+
+def _workstation(origin: Vec3, desk_mat, monitor_mat, plastic, seat_mat, name: str) -> list:
+    """One desk + monitor (2 boxes) + keyboard + chair = 84 patches."""
+    patches = []
+    # Desk (30 patches: top box + 4 leg boxes).
+    patches += table(origin, 1.4, 0.8, 0.72, 0.05, 0.06, desk_mat, name=f"{name}.desk")
+    # Monitor: display head (6) + base (6) = 12.
+    head_lo = Vec3(origin.x - 0.25, origin.y + 0.80, origin.z - 0.18)
+    head_hi = Vec3(origin.x + 0.25, origin.y + 1.16, origin.z + 0.18)
+    patches += box(head_lo, head_hi, monitor_mat, name=f"{name}.monitor")
+    base_lo = Vec3(origin.x - 0.12, origin.y + 0.72, origin.z - 0.10)
+    base_hi = Vec3(origin.x + 0.12, origin.y + 0.80, origin.z + 0.10)
+    patches += box(base_lo, base_hi, plastic, name=f"{name}.monitor-base")
+    # Keyboard (6).
+    patches += box(
+        Vec3(origin.x - 0.22, origin.y + 0.72, origin.z + 0.20),
+        Vec3(origin.x + 0.22, origin.y + 0.745, origin.z + 0.36),
+        plastic,
+        name=f"{name}.keyboard",
+    )
+    # Chair: seat (6) + back (6) + 4 legs (24) = 36.
+    cz = origin.z + 0.75
+    patches += box(
+        Vec3(origin.x - 0.22, 0.42, cz - 0.22),
+        Vec3(origin.x + 0.22, 0.48, cz + 0.22),
+        seat_mat,
+        name=f"{name}.chair-seat",
+    )
+    patches += box(
+        Vec3(origin.x - 0.22, 0.48, cz + 0.16),
+        Vec3(origin.x + 0.22, 0.92, cz + 0.22),
+        seat_mat,
+        name=f"{name}.chair-back",
+    )
+    for i, (sx, sz) in enumerate(((-1, -1), (-1, 1), (1, -1), (1, 1))):
+        patches += box(
+            Vec3(origin.x + sx * 0.18 - 0.02, 0.0, cz + sz * 0.18 - 0.02),
+            Vec3(origin.x + sx * 0.18 + 0.02, 0.42, cz + sz * 0.18 + 0.02),
+            plastic,
+            name=f"{name}.chair-leg{i}",
+        )
+    return patches
+
+
+def computer_lab(*, workstations: int = 22) -> Scene:
+    """Build the Computer Laboratory (~2000 defining polygons).
+
+    Args:
+        workstations: Desk/monitor/chair groups to place (84 patches
+            each).  The default lands the total near the paper's 2000;
+            tests shrink it for speed.
+    """
+    if workstations < 1:
+        raise ValueError("need at least one workstation")
+    wall = matte("lab-wall", 0.70, 0.70, 0.72)
+    floor_mat = glossy("linoleum", 0.30, 0.30, 0.33, specular=0.05, gloss=25.0)
+    desk_mat = matte("desk", 0.45, 0.38, 0.30)
+    monitor_mat = matte("monitor", 0.12, 0.12, 0.13)
+    plastic = matte("plastic", 0.55, 0.55, 0.58)
+    seat_mat = matte("seat", 0.15, 0.20, 0.45)
+    shelf_mat = matte("shelf", 0.50, 0.44, 0.36)
+    tube = emitter("fluorescent", 9.0, 10.0, 11.0)
+
+    # Room sized to hold the requested workstation grid.
+    cols = 4
+    rows = (workstations + cols - 1) // cols
+    width = cols * 2.2 + 1.6
+    depth = rows * 2.0 + 2.4
+    height = 3.0
+
+    patches = []
+    patches.append(axis_rect("y", 0.0, (0.0, width), (0.0, depth), floor_mat, name="floor", flip=True))
+    patches.append(axis_rect("y", height, (0.0, width), (0.0, depth), wall, name="ceiling"))
+    patches.append(axis_rect("x", 0.0, (0.0, height), (0.0, depth), wall, name="wall-x0"))
+    patches.append(axis_rect("x", width, (0.0, height), (0.0, depth), wall, name="wall-x1", flip=True))
+    patches.append(axis_rect("z", 0.0, (0.0, width), (0.0, height), wall, name="wall-z0"))
+    patches.append(axis_rect("z", depth, (0.0, width), (0.0, height), wall, name="wall-z1", flip=True))
+
+    # Even grid of ceiling tubes: one per workstation column pair per row.
+    light_rows = max(rows, 2)
+    light_cols = max(cols // 2, 1)
+    for lr in range(light_rows):
+        for lc in range(light_cols):
+            cx = (lc + 0.5) * width / light_cols
+            cz = (lr + 0.5) * depth / light_rows
+            patches.append(
+                axis_rect(
+                    "y",
+                    height - 0.01,
+                    (cx - 0.6, cx + 0.6),
+                    (cz - 0.15, cz + 0.15),
+                    tube,
+                    name=f"light{lr}-{lc}",
+                )
+            )
+
+    # Workstations in a grid.
+    placed = 0
+    for r in range(rows):
+        for c in range(cols):
+            if placed >= workstations:
+                break
+            origin = Vec3(1.5 + c * 2.2, 0.0, 1.6 + r * 2.0)
+            patches += _workstation(
+                origin, desk_mat, monitor_mat, plastic, seat_mat, f"ws{placed}"
+            )
+            placed += 1
+
+    # Wall shelving: boxes along the x0 wall.
+    shelf_count = max(rows, 4)
+    for i in range(shelf_count):
+        z0 = 0.8 + i * (depth - 1.6) / shelf_count
+        patches += box(
+            Vec3(0.02, 1.2, z0),
+            Vec3(0.35, 1.5, z0 + 0.9),
+            shelf_mat,
+            name=f"shelf{i}",
+        )
+
+    return Scene(patches, name="computer-lab", max_depth=12)
+
+
+LAB_DEFAULT_CAMERA = dict(
+    position=Vec3(9.0, 2.0, 11.5),
+    look_at=Vec3(4.0, 0.9, 3.0),
+    vertical_fov_degrees=60.0,
+)

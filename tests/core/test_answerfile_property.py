@@ -1,0 +1,77 @@
+"""Property-based answer-file round trips over randomized forests."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import forest_from_dict, forest_to_dict
+from repro.core.binning import TWO_PI, BinCoords
+from repro.core.bintree import BinForest, SplitPolicy
+
+unit = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+tally_strategy = st.tuples(
+    st.integers(min_value=0, max_value=5),  # tree key
+    unit,  # s
+    unit,  # t
+    st.floats(min_value=0.0, max_value=TWO_PI - 1e-9, allow_nan=False),
+    unit,  # r^2
+    st.integers(min_value=0, max_value=2),  # band
+)
+
+
+def build_forest(tallies, threshold=3.0, min_count=16) -> BinForest:
+    forest = BinForest(SplitPolicy(threshold=threshold, min_count=min_count))
+    for key, s, t, theta, r2, band in tallies:
+        forest.tally(key, BinCoords(s, t, theta, r2), band)
+        forest.photons_emitted += 1
+        forest.band_emitted[band] += 1
+    return forest
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tally_strategy, min_size=0, max_size=300))
+    def test_roundtrip_is_identity(self, tallies):
+        forest = build_forest(tallies)
+        doc = forest_to_dict(forest)
+        restored = forest_from_dict(doc)
+        assert forest_to_dict(restored) == doc
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tally_strategy, min_size=1, max_size=300))
+    def test_roundtrip_preserves_invariants(self, tallies):
+        forest = build_forest(tallies)
+        restored = forest_from_dict(forest_to_dict(forest))
+        restored.check_invariants()
+        assert restored.total_tallies == forest.total_tallies
+        assert restored.leaf_count == forest.leaf_count
+        assert restored.node_count == forest.node_count
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(tally_strategy, min_size=1, max_size=200),
+        st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_roundtrip_any_policy(self, tallies, threshold):
+        forest = build_forest(tallies, threshold=threshold, min_count=8)
+        restored = forest_from_dict(forest_to_dict(forest))
+        assert restored.policy.threshold == forest.policy.threshold
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tally_strategy, min_size=0, max_size=150))
+    def test_json_stable(self, tallies):
+        """Serialisation is deterministic: same forest, same JSON."""
+        forest = build_forest(tallies)
+        a = json.dumps(forest_to_dict(forest), sort_keys=True)
+        b = json.dumps(forest_to_dict(forest), sort_keys=True)
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tally_strategy, min_size=1, max_size=200))
+    def test_restored_leaf_paths_resolve(self, tallies):
+        forest = build_forest(tallies, min_count=8)
+        restored = forest_from_dict(forest_to_dict(forest))
+        for key, tree in restored.trees.items():
+            for leaf in tree.leaves():
+                assert tree.node_by_path(leaf.path) is leaf

@@ -1,0 +1,150 @@
+"""Serial simulator: determinism, accounting identities, batching."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    PhotonSimulator,
+    SimulationConfig,
+    SplitPolicy,
+    forest_to_dict,
+    trace_photon,
+)
+from repro.rng import Lcg48
+
+
+class TestTracePhoton:
+    def test_first_event_is_emission(self, mini_scene):
+        rng = Lcg48(1)
+        events, stats = trace_photon(mini_scene, rng)
+        assert stats.photons == 1
+        lum = mini_scene.patch_by_id(events[0].patch_id)
+        assert lum.material.is_emitter
+
+    def test_event_count_identity(self, mini_scene):
+        """events = 1 emission + reflections."""
+        rng = Lcg48(2)
+        for _ in range(200):
+            events, stats = trace_photon(mini_scene, rng)
+            assert len(events) == 1 + stats.reflections
+
+    def test_termination_accounting(self, mini_scene):
+        rng = Lcg48(3)
+        for _ in range(200):
+            _, stats = trace_photon(mini_scene, rng)
+            assert (
+                stats.absorptions + stats.escapes + stats.bounce_limit_hits == 1
+            )
+
+    def test_closed_scene_no_escapes(self, mini_scene):
+        rng = Lcg48(4)
+        escapes = 0
+        for _ in range(300):
+            _, stats = trace_photon(mini_scene, rng)
+            escapes += stats.escapes
+        assert escapes == 0
+
+    def test_open_scene_escapes(self, cornell):
+        rng = Lcg48(5)
+        escapes = 0
+        for _ in range(300):
+            _, stats = trace_photon(cornell, rng)
+            escapes += stats.escapes
+        assert escapes > 0  # the Cornell front is open
+
+
+class TestSimulator:
+    def test_deterministic(self, mini_scene, fast_config):
+        a = PhotonSimulator(mini_scene, fast_config).run()
+        b = PhotonSimulator(mini_scene, fast_config).run()
+        assert json.dumps(forest_to_dict(a.forest), sort_keys=True) == json.dumps(
+            forest_to_dict(b.forest), sort_keys=True
+        )
+
+    def test_seed_changes_answer(self, mini_scene):
+        a = PhotonSimulator(mini_scene, SimulationConfig(n_photons=200, seed=1)).run()
+        b = PhotonSimulator(mini_scene, SimulationConfig(n_photons=200, seed=2)).run()
+        assert forest_to_dict(a.forest) != forest_to_dict(b.forest)
+
+    def test_tally_identity(self, mini_scene, fast_config):
+        """Total tallies = photons emitted + reflections."""
+        res = PhotonSimulator(mini_scene, fast_config).run()
+        assert (
+            res.forest.total_tallies
+            == res.stats.photons + res.stats.reflections
+        )
+        assert res.stats.photons == fast_config.n_photons
+
+    def test_invariants(self, mini_scene, fast_config):
+        res = PhotonSimulator(mini_scene, fast_config).run()
+        res.forest.check_invariants()
+
+    def test_band_emitted_sums(self, mini_scene, fast_config):
+        res = PhotonSimulator(mini_scene, fast_config).run()
+        assert sum(res.forest.band_emitted) == fast_config.n_photons
+
+    def test_zero_photons(self, mini_scene):
+        res = PhotonSimulator(mini_scene, SimulationConfig(n_photons=0)).run()
+        assert res.forest.total_tallies == 0
+
+    def test_negative_photons_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_photons=-1)
+
+    def test_view_dependent_polygons(self, mini_scene):
+        res = PhotonSimulator(
+            mini_scene,
+            SimulationConfig(n_photons=2000, policy=SplitPolicy(min_count=8)),
+        ).run()
+        assert res.view_dependent_polygons == res.forest.leaf_count
+        assert res.view_dependent_polygons > mini_scene.defining_polygon_count
+
+    def test_mean_bounces_positive(self, mini_scene, fast_config):
+        res = PhotonSimulator(mini_scene, fast_config).run()
+        assert res.stats.mean_bounces > 0.1
+
+
+class TestBatches:
+    def test_batches_accumulate_to_full_run(self, mini_scene, fast_config):
+        full = PhotonSimulator(mini_scene, fast_config).run()
+        last = None
+        for partial in PhotonSimulator(mini_scene, fast_config).run_batches(100):
+            last = partial
+        assert last is not None
+        assert json.dumps(forest_to_dict(last.forest), sort_keys=True) == json.dumps(
+            forest_to_dict(full.forest), sort_keys=True
+        )
+
+    def test_batch_count(self, mini_scene):
+        cfg = SimulationConfig(n_photons=250)
+        batches = list(PhotonSimulator(mini_scene, cfg).run_batches(100))
+        assert len(batches) == 3  # 100 + 100 + 50
+
+    def test_monotone_growth(self, mini_scene):
+        cfg = SimulationConfig(n_photons=400)
+        totals = [
+            r.forest.total_tallies
+            for r in PhotonSimulator(mini_scene, cfg).run_batches(100)
+        ]
+        assert totals == sorted(totals)
+
+    def test_bad_batch_size(self, mini_scene, fast_config):
+        with pytest.raises(ValueError):
+            list(PhotonSimulator(mini_scene, fast_config).run_batches(0))
+
+
+class TestMemoryGrowth:
+    def test_forest_grows_sublinearly_late(self, mini_scene):
+        """Fig. 5.4's qualitative shape: early growth, later flattening
+        of *new leaves per photon*."""
+        cfg = SimulationConfig(
+            n_photons=4000, policy=SplitPolicy(min_count=8)
+        )
+        leaf_counts = [
+            r.forest.leaf_count
+            for r in PhotonSimulator(mini_scene, cfg).run_batches(500)
+        ]
+        early_rate = leaf_counts[1] - leaf_counts[0]
+        late_rate = leaf_counts[-1] - leaf_counts[-2]
+        assert late_rate <= early_rate

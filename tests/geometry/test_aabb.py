@@ -1,0 +1,172 @@
+"""AABB: containment, overlap, slab intersection, octants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import AABB, Ray, Vec3
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points = st.builds(Vec3, coords, coords, coords)
+
+
+def make_box(a: Vec3, b: Vec3) -> AABB:
+    lo = Vec3(min(a.x, b.x), min(a.y, b.y), min(a.z, b.z))
+    hi = Vec3(max(a.x, b.x), max(a.y, b.y), max(a.z, b.z))
+    return AABB(lo, hi)
+
+
+UNIT = AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+
+
+class TestConstruction:
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            AABB(Vec3(1, 0, 0), Vec3(0, 1, 1))
+
+    def test_from_points(self):
+        box = AABB.from_points([Vec3(1, 5, -2), Vec3(-1, 0, 3)])
+        assert box.lo == Vec3(-1, 0, -2)
+        assert box.hi == Vec3(1, 5, 3)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            AABB.from_points([])
+
+    def test_union_all_empty(self):
+        with pytest.raises(ValueError):
+            AABB.union_all([])
+
+    def test_degenerate_planar_box_ok(self):
+        box = AABB(Vec3(0, 0, 0), Vec3(1, 0, 1))
+        assert box.volume() == 0.0
+        assert box.contains_point(Vec3(0.5, 0.0, 0.5))
+
+
+class TestMeasures:
+    def test_center_extent(self):
+        assert UNIT.center() == Vec3(0.5, 0.5, 0.5)
+        assert UNIT.extent() == Vec3(1, 1, 1)
+
+    def test_surface_area_volume(self):
+        assert UNIT.surface_area() == 6.0
+        assert UNIT.volume() == 1.0
+
+    def test_expanded(self):
+        e = UNIT.expanded(0.5)
+        assert e.lo == Vec3(-0.5, -0.5, -0.5)
+        assert e.hi == Vec3(1.5, 1.5, 1.5)
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            UNIT.expanded(-0.1)
+
+
+class TestSetOps:
+    def test_overlap_touching_counts(self):
+        other = AABB(Vec3(1, 0, 0), Vec3(2, 1, 1))
+        assert UNIT.overlaps(other)
+
+    def test_overlap_disjoint(self):
+        other = AABB(Vec3(1.1, 0, 0), Vec3(2, 1, 1))
+        assert not UNIT.overlaps(other)
+
+    @given(points, points, points, points)
+    def test_overlap_symmetry(self, a, b, c, d):
+        b1, b2 = make_box(a, b), make_box(c, d)
+        assert b1.overlaps(b2) == b2.overlaps(b1)
+
+    @given(points, points, points, points)
+    def test_union_contains_both(self, a, b, c, d):
+        b1, b2 = make_box(a, b), make_box(c, d)
+        u = b1.union(b2)
+        for box in (b1, b2):
+            assert u.contains_point(box.lo)
+            assert u.contains_point(box.hi)
+
+
+class TestRayIntersection:
+    def test_through_center(self):
+        span = UNIT.intersect_ray(Ray(Vec3(0.5, 0.5, -1), Vec3(0, 0, 1)))
+        assert span is not None
+        t0, t1 = span
+        assert t0 == pytest.approx(1.0)
+        assert t1 == pytest.approx(2.0)
+
+    def test_miss(self):
+        assert UNIT.intersect_ray(Ray(Vec3(2, 2, -1), Vec3(0, 0, 1))) is None
+
+    def test_starting_inside(self):
+        span = UNIT.intersect_ray(Ray(Vec3(0.5, 0.5, 0.5), Vec3(0, 0, 1)))
+        assert span is not None
+        assert span[0] == 0.0
+        assert span[1] == pytest.approx(0.5)
+
+    def test_behind_origin(self):
+        assert UNIT.intersect_ray(Ray(Vec3(0.5, 0.5, 2.0), Vec3(0, 0, 1))) is None
+
+    def test_t_max_clips(self):
+        ray = Ray(Vec3(0.5, 0.5, -1), Vec3(0, 0, 1))
+        assert UNIT.intersect_ray(ray, t_max=0.5) is None
+        span = UNIT.intersect_ray(ray, t_max=1.5)
+        assert span is not None and span[1] == pytest.approx(1.5)
+
+    def test_axis_parallel_on_boundary(self):
+        # Origin exactly on a slab plane of the parallel axis: the NaN
+        # guard must resolve containment, not crash.
+        ray = Ray(Vec3(0.0, 0.5, 0.5), Vec3(0, 0, 1))
+        span = UNIT.intersect_ray(ray)
+        assert span is not None
+
+    @given(points, st.builds(Vec3, coords, coords, coords))
+    def test_matches_sampling(self, origin, direction):
+        """Slab result agrees with dense point sampling along the ray."""
+        if direction.length() < 1e-3:
+            return
+        ray = Ray(origin, direction)
+        span = UNIT.intersect_ray(ray, t_max=500.0)
+        ts = [i * 0.25 for i in range(0, 2000)]
+        inside = [t for t in ts if UNIT.contains_point(ray.at(t))]
+        if span is None:
+            # No sampled point strictly inside (boundary grazing allowed).
+            interior = [
+                t
+                for t in inside
+                if all(
+                    lo + 1e-9 < v < hi - 1e-9
+                    for v, lo, hi in zip(ray.at(t), UNIT.lo, UNIT.hi)
+                )
+            ]
+            assert not interior
+        else:
+            t0, t1 = span
+            for t in inside:
+                assert t0 - 0.26 <= t <= t1 + 0.26
+
+
+class TestOctants:
+    def test_partition(self):
+        octants = [UNIT.octant(i) for i in range(8)]
+        total = sum(o.volume() for o in octants)
+        assert total == pytest.approx(UNIT.volume())
+        # Octant 0 is the low corner; octant 7 the high corner.
+        assert octants[0].lo == UNIT.lo
+        assert octants[7].hi == UNIT.hi
+
+    def test_octant_bits(self):
+        o5 = UNIT.octant(5)  # high x (bit 0), low y, high z (bit 2)
+        assert o5.lo == Vec3(0.5, 0.0, 0.5)
+        assert o5.hi == Vec3(1.0, 0.5, 1.0)
+
+    def test_octant_bad_index(self):
+        with pytest.raises(ValueError):
+            UNIT.octant(8)
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_each_octant_inside_parent(self, i):
+        o = UNIT.octant(i)
+        assert UNIT.contains_point(o.lo)
+        assert UNIT.contains_point(o.hi)
+
+    def test_eq_hash(self):
+        assert UNIT == AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))
+        assert hash(UNIT) == hash(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))

@@ -1,0 +1,90 @@
+"""Geometry builders: winding/normal conventions, counts, areas."""
+
+import pytest
+
+from repro.geometry import Vec3, axis_rect, box, matte, room, table
+from repro.geometry.builders import quad_from_corners
+
+MAT = matte("m", 0.5, 0.5, 0.5)
+
+
+class TestAxisRect:
+    def test_y_plane_normal_down_unflipped(self):
+        p = axis_rect("y", 1.0, (0, 2), (0, 2), MAT)
+        assert p.normal == Vec3(0, -1, 0)
+
+    def test_y_plane_normal_up_flipped(self):
+        p = axis_rect("y", 1.0, (0, 2), (0, 2), MAT, flip=True)
+        assert p.normal == Vec3(0, 1, 0)
+
+    def test_level_coordinate(self):
+        p = axis_rect("x", 3.0, (0, 1), (0, 1), MAT)
+        for c in p.corners():
+            assert c.x == 3.0
+
+    def test_area(self):
+        p = axis_rect("z", 0.0, (0, 2), (0, 3), MAT)
+        assert p.area == pytest.approx(6.0)
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            axis_rect("w", 0.0, (0, 1), (0, 1), MAT)
+
+
+class TestQuadFromCorners:
+    def test_fourth_corner_implied(self):
+        p = quad_from_corners(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0), MAT)
+        assert p.corners()[2] == Vec3(1, 1, 0)
+
+
+class TestBox:
+    def test_six_faces(self):
+        faces = box(Vec3(0, 0, 0), Vec3(1, 2, 3), MAT)
+        assert len(faces) == 6
+
+    def test_outward_normals(self):
+        faces = box(Vec3(0, 0, 0), Vec3(1, 1, 1), MAT)
+        centre = Vec3(0.5, 0.5, 0.5)
+        for f in faces:
+            to_face = f.centroid() - centre
+            assert f.normal.dot(to_face) > 0, f"{f.name} points inward"
+
+    def test_inward_normals(self):
+        faces = box(Vec3(0, 0, 0), Vec3(1, 1, 1), MAT, inward=True)
+        centre = Vec3(0.5, 0.5, 0.5)
+        for f in faces:
+            to_face = f.centroid() - centre
+            assert f.normal.dot(to_face) < 0, f"{f.name} points outward"
+
+    def test_total_area(self):
+        faces = box(Vec3(0, 0, 0), Vec3(1, 2, 3), MAT)
+        # 2*(1*2 + 2*3 + 1*3) = 22
+        assert sum(f.area for f in faces) == pytest.approx(22.0)
+
+
+class TestRoom:
+    def test_six_inward_faces(self):
+        faces = room(
+            Vec3(0, 0, 0), Vec3(4, 3, 5), floor=MAT, ceiling=MAT, walls=MAT
+        )
+        assert len(faces) == 6
+        centre = Vec3(2, 1.5, 2.5)
+        for f in faces:
+            assert f.normal.dot(centre - f.centroid()) > 0, f"{f.name} not inward"
+
+    def test_named_faces(self):
+        faces = room(Vec3(0, 0, 0), Vec3(1, 1, 1), floor=MAT, ceiling=MAT, walls=MAT)
+        names = [f.name for f in faces]
+        assert any("floor" in n for n in names)
+        assert any("ceiling" in n for n in names)
+
+
+class TestTable:
+    def test_patch_count(self):
+        patches = table(Vec3(0, 0, 0), 1.0, 0.6, 0.7, 0.05, 0.05, MAT)
+        assert len(patches) == 30  # top box + 4 leg boxes
+
+    def test_height(self):
+        patches = table(Vec3(0, 0, 0), 1.0, 0.6, 0.7, 0.05, 0.05, MAT)
+        top = max(c.y for p in patches for c in p.corners())
+        assert top == pytest.approx(0.7)

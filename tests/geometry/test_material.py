@@ -1,0 +1,85 @@
+"""Material model: energy bounds, classification, constructors."""
+
+import pytest
+
+from repro.geometry.material import (
+    BLACK,
+    RGB,
+    WHITE,
+    Material,
+    emitter,
+    glossy,
+    matte,
+    mirror,
+)
+
+
+class TestRGB:
+    def test_band_access(self):
+        c = RGB(0.1, 0.2, 0.3)
+        assert [c.band(i) for i in range(3)] == [0.1, 0.2, 0.3]
+
+    def test_band_out_of_range(self):
+        with pytest.raises(IndexError):
+            RGB(0, 0, 0).band(3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            RGB(-0.1, 0, 0)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            RGB(float("nan"), 0, 0)
+
+    def test_luminance_white(self):
+        assert WHITE.luminance() == pytest.approx(1.0)
+
+    def test_scaled(self):
+        assert RGB(0.2, 0.4, 0.6).scaled(0.5) == RGB(0.1, 0.2, 0.3)
+
+    def test_iter(self):
+        assert list(RGB(1, 2, 3)) == [1, 2, 3]
+
+
+class TestMaterial:
+    def test_energy_conservation_enforced(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", diffuse=RGB(0.8, 0.8, 0.8), specular=0.3)
+
+    def test_specular_range(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", specular=1.5)
+
+    def test_gloss_positive(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", diffuse=BLACK, specular=0.5, gloss=0.0)
+
+    def test_absorption(self):
+        m = Material(name="m", diffuse=RGB(0.5, 0.4, 0.3), specular=0.2)
+        assert m.absorption(0) == pytest.approx(0.3)
+        assert m.absorption(2) == pytest.approx(0.5)
+
+    def test_is_mirror(self):
+        assert mirror("m").is_mirror
+        assert not glossy("g", 0.1, 0.1, 0.1, 0.3, 50.0).is_mirror
+        assert not matte("d", 0.5, 0.5, 0.5).is_mirror
+
+    def test_is_emitter(self):
+        assert emitter("e", 1, 1, 1).is_emitter
+        assert not matte("d", 0.5, 0.5, 0.5).is_emitter
+
+    def test_mean_reflectivity(self):
+        m = glossy("g", 0.3, 0.3, 0.3, 0.2, 10.0)
+        assert m.mean_reflectivity() == pytest.approx(0.5)
+
+    def test_emitter_does_not_reflect(self):
+        e = emitter("lamp", 5, 5, 5)
+        assert e.absorption(0) == pytest.approx(1.0)
+
+    def test_frozen(self):
+        m = matte("d", 0.5, 0.5, 0.5)
+        with pytest.raises(Exception):
+            m.specular = 0.9  # type: ignore[misc]
+
+    def test_polarization_hook_default_none(self):
+        assert matte("d", 0.1, 0.1, 0.1).polarization_hook is None

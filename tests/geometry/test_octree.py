@@ -1,0 +1,110 @@
+"""Octree: equivalence with brute force, near-to-far ordering, stats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Octree, Ray, Vec3
+from tests.conftest import build_mini_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_mini_scene()
+
+
+coord = st.floats(min_value=-0.4, max_value=1.4, allow_nan=False)
+direction_component = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Octree([])
+
+    def test_bad_params(self, scene):
+        with pytest.raises(ValueError):
+            Octree(scene.patches, leaf_capacity=0)
+        with pytest.raises(ValueError):
+            Octree(scene.patches, max_depth=-1)
+
+    def test_stats_populated(self, scene):
+        stats = scene.octree.stats
+        assert stats.node_count >= stats.leaf_count >= 1
+        assert stats.patch_references >= len(scene.patches)
+
+    def test_forced_leaf(self, scene):
+        """max_depth=0 puts everything in the root leaf."""
+        tree = Octree(scene.patches, max_depth=0)
+        assert tree.root.is_leaf
+        assert len(tree.root.patches) == len(scene.patches)
+
+    def test_depth_histogram_counts_leaves(self, scene):
+        hist = scene.octree.depth_histogram()
+        assert sum(hist.values()) == scene.octree.stats.leaf_count
+
+    def test_root_bounds_cover_all(self, scene):
+        root = scene.octree.root.bounds
+        for patch in scene.patches:
+            for corner in patch.corners():
+                assert root.contains_point(corner)
+
+
+class TestIntersection:
+    def test_straight_down_hits_shelf_not_floor(self, scene):
+        # The shelf at y=0.4 occludes the floor from above.
+        hit = scene.octree.intersect(Ray(Vec3(0.5, 0.9, 0.5), Vec3(0, -1, 0)))
+        assert hit is not None
+        assert hit.patch.name == "lamp" or hit.point.y > 0.0
+
+    def test_t_max(self, scene):
+        ray = Ray(Vec3(0.5, 0.5, -2.0), Vec3(0, 0, 1))
+        assert scene.octree.intersect(ray, t_max=1.0) is None
+        assert scene.octree.intersect(ray, t_max=5.0) is not None
+
+    def test_miss_outside(self, scene):
+        ray = Ray(Vec3(5, 5, 5), Vec3(0, 1, 0))
+        assert scene.octree.intersect(ray) is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.builds(Vec3, coord, coord, coord),
+        st.builds(Vec3, direction_component, direction_component, direction_component),
+    )
+    def test_equals_linear_scan(self, scene, origin, direction):
+        """The octree must return exactly the brute-force closest hit."""
+        if direction.length() < 1e-3:
+            return
+        ray = Ray(origin, direction)
+        fast = scene.octree.intersect(ray)
+        slow = scene.intersect_linear(ray)
+        if slow is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast.patch.patch_id == slow.patch.patch_id
+            assert fast.distance == pytest.approx(slow.distance, rel=1e-12)
+
+    def test_traversal_counters_grow(self, scene):
+        before = scene.octree.stats.intersection_tests
+        scene.octree.intersect(Ray(Vec3(0.5, 0.5, -2.0), Vec3(0, 0, 1)))
+        assert scene.octree.stats.intersection_tests > before
+
+    def test_counter_reset(self, scene):
+        scene.octree.stats.reset_traversal_counters()
+        assert scene.octree.stats.intersection_tests == 0
+        assert scene.octree.stats.nodes_visited == 0
+
+
+class TestOcclusion:
+    def test_occluded_by_shelf(self, scene):
+        # Floor centre to lamp: the shelf is in between.
+        ray = Ray(Vec3(0.5, 0.001, 0.5), Vec3(0, 1, 0))
+        assert scene.octree.is_occluded(ray, 0.97)
+
+    def test_not_occluded_short_range(self, scene):
+        ray = Ray(Vec3(0.5, 0.001, 0.5), Vec3(0, 1, 0))
+        assert not scene.octree.is_occluded(ray, 0.3)
+
+    def test_iter_nodes_complete(self, scene):
+        nodes = list(scene.octree.iter_nodes())
+        assert len(nodes) == scene.octree.stats.node_count

@@ -1,0 +1,160 @@
+"""Patch primitive: parameterisation, intersection, splitting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Patch, Ray, Vec3, matte
+
+MAT = matte("m", 0.5, 0.5, 0.5)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def make_floor() -> Patch:
+    """Unit square on the y=0 plane, normal +y for this winding."""
+    return Patch(Vec3(0, 0, 0), Vec3(0, 0, 1), Vec3(1, 0, 0), MAT, name="floor")
+
+
+def make_skewed() -> Patch:
+    """A non-orthogonal parallelogram off the axes."""
+    return Patch(
+        Vec3(1, 2, 3), Vec3(2, 0.5, 0), Vec3(0.3, 1.5, 1.0), MAT, name="skewed"
+    )
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Patch(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(2, 0, 0), MAT)
+
+    def test_area_rectangle(self):
+        p = Patch(Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(0, 3, 0), MAT)
+        assert p.area == pytest.approx(6.0)
+
+    def test_area_parallelogram(self):
+        p = Patch(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(1, 1, 0), MAT)
+        assert p.area == pytest.approx(1.0)
+
+    def test_normal_unit_and_orthogonal(self):
+        p = make_skewed()
+        assert p.normal.length() == pytest.approx(1.0)
+        assert abs(p.normal.dot(p.eu)) < 1e-12
+        assert abs(p.normal.dot(p.ev)) < 1e-12
+
+    def test_corners_order(self):
+        p = make_floor()
+        c = p.corners()
+        assert c[0] == Vec3(0, 0, 0)
+        assert c[2] == Vec3(1, 0, 1)
+
+    def test_centroid(self):
+        assert make_floor().centroid() == Vec3(0.5, 0.0, 0.5)
+
+    def test_unregistered_patch_id(self):
+        assert make_floor().patch_id == -1
+
+
+class TestParameterisation:
+    @given(unit, unit)
+    def test_roundtrip_floor(self, s, t):
+        p = make_floor()
+        s2, t2 = p.parameters_of(p.point_at(s, t))
+        assert s2 == pytest.approx(s, abs=1e-9)
+        assert t2 == pytest.approx(t, abs=1e-9)
+
+    @given(unit, unit)
+    def test_roundtrip_skewed(self, s, t):
+        p = make_skewed()
+        s2, t2 = p.parameters_of(p.point_at(s, t))
+        assert s2 == pytest.approx(s, abs=1e-9)
+        assert t2 == pytest.approx(t, abs=1e-9)
+
+    def test_outside_parameters(self):
+        p = make_floor()
+        s, t = p.parameters_of(Vec3(-0.5, 0.0, 2.0))
+        assert t == pytest.approx(-0.5)
+        assert s == pytest.approx(2.0)
+
+
+class TestIntersection:
+    def test_frontal_hit(self):
+        p = make_floor()
+        hit = p.intersect(Ray(Vec3(0.25, 2.0, 0.75), Vec3(0, -1, 0)))
+        assert hit is not None
+        assert hit.distance == pytest.approx(2.0)
+        assert hit.point == Vec3(0.25, 0.0, 0.75)
+        assert hit.s == pytest.approx(0.75)
+        assert hit.t == pytest.approx(0.25)
+        assert not hit.backface
+
+    def test_backface_hit_flags(self):
+        p = make_floor()
+        hit = p.intersect(Ray(Vec3(0.5, -1.0, 0.5), Vec3(0, 1, 0)))
+        assert hit is not None
+        assert hit.backface
+        # shading normal opposes the ray
+        assert hit.shading_normal().dot(Vec3(0, 1, 0)) < 0
+
+    def test_parallel_miss(self):
+        p = make_floor()
+        assert p.intersect(Ray(Vec3(0, 1, 0), Vec3(1, 0, 0))) is None
+
+    def test_outside_quad_miss(self):
+        p = make_floor()
+        assert p.intersect(Ray(Vec3(1.5, 1.0, 0.5), Vec3(0, -1, 0))) is None
+
+    def test_behind_origin_miss(self):
+        p = make_floor()
+        assert p.intersect(Ray(Vec3(0.5, -1.0, 0.5), Vec3(0, -1, 0))) is None
+
+    def test_t_max_clips(self):
+        p = make_floor()
+        ray = Ray(Vec3(0.5, 2.0, 0.5), Vec3(0, -1, 0))
+        assert p.intersect(ray, t_max=1.0) is None
+        assert p.intersect(ray, t_max=3.0) is not None
+
+    def test_epsilon_guard(self):
+        """A ray starting exactly on the surface cannot re-hit it."""
+        p = make_floor()
+        hit = p.intersect(Ray(Vec3(0.5, 0.0, 0.5), Vec3(0, -1, 0)))
+        assert hit is None
+
+    @given(unit, unit)
+    def test_hit_parameters_match_point(self, s, t):
+        p = make_skewed()
+        target = p.point_at(s, t)
+        origin = target + p.normal * 3.0
+        hit = p.intersect(Ray(origin, -p.normal, normalized=True))
+        assert hit is not None
+        assert hit.s == pytest.approx(s, abs=1e-7)
+        assert hit.t == pytest.approx(t, abs=1e-7)
+        assert hit.distance == pytest.approx(3.0, abs=1e-9)
+
+
+class TestSplit:
+    def test_split_s_partitions_area(self):
+        p = make_skewed()
+        a, b = p.split_midpoint("s")
+        assert a.area + b.area == pytest.approx(p.area)
+
+    def test_split_t_geometry(self):
+        p = make_floor()
+        lo, hi = p.split_midpoint("t")
+        assert lo.point_at(1, 1) == p.point_at(1.0, 0.5)
+        assert hi.point_at(0, 0) == p.point_at(0.0, 0.5)
+
+    def test_split_bad_axis(self):
+        with pytest.raises(ValueError):
+            make_floor().split_midpoint("u")
+
+    def test_split_inherits_material(self):
+        a, b = make_floor().split_midpoint("s")
+        assert a.material is MAT and b.material is MAT
+
+    def test_bounds_contains_corners(self):
+        p = make_skewed()
+        box = p.bounds()
+        for c in p.corners():
+            assert box.contains_point(c)

@@ -1,0 +1,43 @@
+"""Ray construction and evaluation."""
+
+import math
+
+import pytest
+
+from repro.geometry import EPSILON, Ray, Vec3
+
+
+class TestRay:
+    def test_normalises_direction(self):
+        ray = Ray(Vec3(0, 0, 0), Vec3(0, 0, 5))
+        assert ray.direction.length() == pytest.approx(1.0)
+
+    def test_normalized_flag_trusts_caller(self):
+        d = Vec3(0, 0, 1)
+        ray = Ray(Vec3(0, 0, 0), d, normalized=True)
+        assert ray.direction is d
+
+    def test_at(self):
+        ray = Ray(Vec3(1, 2, 3), Vec3(0, 1, 0))
+        assert ray.at(2.5) == Vec3(1, 4.5, 3)
+
+    def test_at_zero_is_origin(self):
+        ray = Ray(Vec3(1, 2, 3), Vec3(1, 1, 1))
+        assert ray.at(0.0) == Vec3(1, 2, 3)
+
+    def test_inv_direction_axis_parallel(self):
+        ray = Ray(Vec3(0, 0, 0), Vec3(0, 1, 0))
+        assert math.isinf(ray.inv_direction.x)
+        assert ray.inv_direction.y == pytest.approx(1.0)
+
+    def test_epsilon_positive_and_small(self):
+        assert 0 < EPSILON < 1e-6
+
+    def test_repr(self):
+        assert "Ray" in repr(Ray(Vec3(0, 0, 0), Vec3(1, 0, 0)))
+
+    def test_world_distance_parameterisation(self):
+        """Unit directions mean t measures metres."""
+        ray = Ray(Vec3(0, 0, 0), Vec3(3, 4, 0))
+        p = ray.at(10.0)
+        assert p.length() == pytest.approx(10.0)

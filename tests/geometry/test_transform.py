@@ -1,0 +1,119 @@
+"""Rigid transforms: rotations, composition, patch invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Patch, Vec3, matte
+from repro.geometry.transform import (
+    Transform,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    translate,
+)
+from repro.geometry.vec import almost_equal
+
+MAT = matte("m", 0.5, 0.5, 0.5)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+class TestConstruction:
+    def test_identity(self):
+        t = Transform.identity()
+        p = Vec3(1, 2, 3)
+        assert t.point(p) == p
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Transform(((1, 0), (0, 1), (0, 0)), Vec3(0, 0, 0))
+
+    def test_non_rigid_rejected(self):
+        with pytest.raises(ValueError):
+            Transform(((2, 0, 0), (0, 1, 0), (0, 0, 1)), Vec3(0, 0, 0))
+
+
+class TestRotations:
+    def test_rotate_y_quarter(self):
+        t = rotate_y(math.pi / 2)
+        assert almost_equal(t.vector(Vec3(1, 0, 0)), Vec3(0, 0, -1), tol=1e-12)
+        assert almost_equal(t.vector(Vec3(0, 1, 0)), Vec3(0, 1, 0), tol=1e-12)
+
+    def test_rotate_x_quarter(self):
+        t = rotate_x(math.pi / 2)
+        assert almost_equal(t.vector(Vec3(0, 1, 0)), Vec3(0, 0, 1), tol=1e-12)
+
+    def test_rotate_z_quarter(self):
+        t = rotate_z(math.pi / 2)
+        assert almost_equal(t.vector(Vec3(1, 0, 0)), Vec3(0, 1, 0), tol=1e-12)
+
+    @given(angles)
+    def test_rotation_preserves_length(self, a):
+        v = Vec3(1.0, 2.0, -0.5)
+        assert rotate_y(a).vector(v).length() == pytest.approx(v.length())
+
+    @given(angles, angles)
+    def test_rotation_composition(self, a, b):
+        composed = rotate_y(a) @ rotate_y(b)
+        direct = rotate_y(a + b)
+        v = Vec3(0.3, 0.7, -1.1)
+        assert almost_equal(composed.vector(v), direct.vector(v), tol=1e-9)
+
+
+class TestTranslation:
+    def test_translate_point_not_vector(self):
+        t = translate(Vec3(1, 2, 3))
+        assert t.point(Vec3(0, 0, 0)) == Vec3(1, 2, 3)
+        assert t.vector(Vec3(1, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_compose_order(self):
+        """(translate o rotate) rotates first."""
+        t = translate(Vec3(1, 0, 0)) @ rotate_y(math.pi / 2)
+        out = t.point(Vec3(1, 0, 0))
+        assert almost_equal(out, Vec3(1, 0, -1), tol=1e-12)
+
+
+class TestInverse:
+    @given(angles)
+    def test_roundtrip(self, a):
+        t = translate(Vec3(2, -1, 0.5)) @ rotate_y(a) @ rotate_x(a / 2)
+        inv = t.inverse()
+        p = Vec3(0.3, 0.9, -0.4)
+        assert almost_equal(inv.point(t.point(p)), p, tol=1e-9)
+
+
+class TestPatchTransform:
+    def _patch(self) -> Patch:
+        return Patch(Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(0, 0, 1), MAT, "p")
+
+    @given(angles)
+    def test_area_preserved(self, a):
+        t = rotate_y(a) @ translate(Vec3(1, 2, 3))
+        moved = t.patch(self._patch())
+        assert moved.area == pytest.approx(self._patch().area)
+
+    def test_normal_rotates(self):
+        t = rotate_x(math.pi / 2)
+        moved = t.patch(self._patch())
+        original_normal = self._patch().normal
+        assert almost_equal(moved.normal, t.vector(original_normal), tol=1e-12)
+
+    def test_material_shared(self):
+        moved = rotate_y(0.3).patch(self._patch())
+        assert moved.material is MAT
+
+    def test_parameterisation_consistent(self):
+        """(s, t) of a transformed point matches the original's."""
+        t = translate(Vec3(5, 0, 0)) @ rotate_y(0.7)
+        original = self._patch()
+        moved = t.patch(original)
+        s, tt = 0.3, 0.8
+        world = t.point(original.point_at(s, tt))
+        s2, t2 = moved.parameters_of(world)
+        assert s2 == pytest.approx(s, abs=1e-9)
+        assert t2 == pytest.approx(tt, abs=1e-9)
+
+    def test_patches_plural(self):
+        moved = rotate_y(0.2).patches([self._patch(), self._patch()])
+        assert len(moved) == 2

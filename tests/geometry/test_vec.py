@@ -1,0 +1,211 @@
+"""Vector arithmetic: operator protocol, norms, bases, array bridging."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    UNIT_X,
+    UNIT_Y,
+    UNIT_Z,
+    Vec3,
+    ZERO,
+    almost_equal,
+    cross,
+    distance,
+    dot,
+    from_array,
+    lerp,
+    length,
+    length_squared,
+    normalize,
+    orthonormal_basis,
+    reflect_about,
+    to_array,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+vectors = st.builds(Vec3, finite, finite, finite)
+nonzero_vectors = vectors.filter(lambda v: v.length() > 1e-6)
+
+
+class TestConstruction:
+    def test_components(self):
+        v = Vec3(1.0, 2.0, 3.0)
+        assert (v.x, v.y, v.z) == (1.0, 2.0, 3.0)
+
+    def test_default_is_zero(self):
+        assert Vec3() == ZERO
+
+    def test_full(self):
+        assert Vec3.full(2.5) == Vec3(2.5, 2.5, 2.5)
+
+    def test_from_iterable(self):
+        assert Vec3.from_iterable([1, 2, 3]) == Vec3(1, 2, 3)
+
+    def test_from_iterable_too_short(self):
+        with pytest.raises(ValueError):
+            Vec3.from_iterable([1, 2])
+
+    def test_from_iterable_too_long(self):
+        with pytest.raises(ValueError):
+            Vec3.from_iterable([1, 2, 3, 4])
+
+    def test_immutable(self):
+        v = Vec3(1, 2, 3)
+        with pytest.raises(AttributeError):
+            v.x = 5.0
+
+    def test_coerces_to_float(self):
+        v = Vec3(1, 2, 3)
+        assert isinstance(v.x, float)
+
+
+class TestProtocol:
+    def test_indexing(self):
+        v = Vec3(1, 2, 3)
+        assert [v[0], v[1], v[2]] == [1, 2, 3]
+        assert [v[-3], v[-2], v[-1]] == [1, 2, 3]
+
+    def test_index_error(self):
+        with pytest.raises(IndexError):
+            Vec3()[3]
+
+    def test_iteration_and_len(self):
+        v = Vec3(4, 5, 6)
+        assert list(v) == [4, 5, 6]
+        assert len(v) == 3
+
+    def test_hashable(self):
+        assert len({Vec3(1, 2, 3), Vec3(1, 2, 3), Vec3(0, 0, 0)}) == 2
+
+    def test_eq_other_type(self):
+        assert Vec3(1, 2, 3) != (1, 2, 3)
+
+    def test_repr_roundtrip_values(self):
+        assert "Vec3" in repr(Vec3(1, 2, 3))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        assert a + b == Vec3(5, 7, 9)
+        assert b - a == Vec3(3, 3, 3)
+
+    def test_scalar_mul_div(self):
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert 2 * Vec3(1, 2, 3) == Vec3(2, 4, 6)
+        assert Vec3(2, 4, 6) / 2 == Vec3(1, 2, 3)
+
+    def test_componentwise_mul(self):
+        assert Vec3(1, 2, 3) * Vec3(2, 3, 4) == Vec3(2, 6, 12)
+
+    def test_negation(self):
+        assert -Vec3(1, -2, 3) == Vec3(-1, 2, -3)
+
+    @given(vectors, vectors)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors)
+    def test_sub_self_is_zero(self, a):
+        assert a - a == ZERO
+
+
+class TestMeasures:
+    def test_dot_orthogonal(self):
+        assert dot(UNIT_X, UNIT_Y) == 0.0
+
+    def test_cross_right_handed(self):
+        assert cross(UNIT_X, UNIT_Y) == UNIT_Z
+        assert cross(UNIT_Y, UNIT_Z) == UNIT_X
+
+    def test_length(self):
+        assert length(Vec3(3, 4, 0)) == 5.0
+        assert length_squared(Vec3(3, 4, 0)) == 25.0
+
+    def test_distance(self):
+        assert distance(Vec3(1, 0, 0), Vec3(4, 4, 0)) == 5.0
+
+    def test_normalize_unit(self):
+        n = normalize(Vec3(10, 0, 0))
+        assert n == UNIT_X
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ZERO.normalized()
+
+    def test_min_max_component(self):
+        v = Vec3(3, -1, 2)
+        assert v.min_component() == -1
+        assert v.max_component() == 3
+
+    def test_abs(self):
+        assert Vec3(-1, 2, -3).abs() == Vec3(1, 2, 3)
+
+    @given(nonzero_vectors)
+    def test_normalized_has_unit_length(self, v):
+        assert math.isclose(v.normalized().length(), 1.0, rel_tol=1e-9)
+
+    @given(vectors, vectors)
+    def test_cross_orthogonal_to_both(self, a, b):
+        c = cross(a, b)
+        # dot of cross with operands is ~0 (exact up to float cancellation)
+        scale = max(a.length() * b.length(), 1.0)
+        assert abs(dot(c, a)) <= 1e-6 * scale * max(a.length(), 1.0)
+        assert abs(dot(c, b)) <= 1e-6 * scale * max(b.length(), 1.0)
+
+    @given(vectors, vectors)
+    def test_dot_symmetry(self, a, b):
+        assert dot(a, b) == dot(b, a)
+
+
+class TestHelpers:
+    def test_lerp_endpoints(self):
+        a, b = Vec3(0, 0, 0), Vec3(2, 4, 6)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+        assert lerp(a, b, 0.5) == Vec3(1, 2, 3)
+
+    def test_reflect_about_normal(self):
+        # Straight-down ray off a floor bounces straight up.
+        out = reflect_about(Vec3(0, -1, 0), UNIT_Y)
+        assert almost_equal(out, Vec3(0, 1, 0))
+
+    def test_reflect_preserves_tangent(self):
+        out = reflect_about(Vec3(1, -1, 0).normalized(), UNIT_Y)
+        assert almost_equal(out, Vec3(1, 1, 0).normalized(), tol=1e-12)
+
+    @given(nonzero_vectors)
+    def test_reflect_preserves_length(self, v):
+        out = reflect_about(v, UNIT_Z)
+        assert math.isclose(out.length(), v.length(), rel_tol=1e-9)
+
+    def test_almost_equal_tolerance(self):
+        assert almost_equal(Vec3(0, 0, 0), Vec3(0, 0, 1e-12))
+        assert not almost_equal(Vec3(0, 0, 0), Vec3(0, 0, 1e-3))
+
+    @given(nonzero_vectors)
+    def test_orthonormal_basis(self, v):
+        n = v.normalized()
+        t1, t2 = orthonormal_basis(n)
+        assert abs(dot(t1, n)) < 1e-9
+        assert abs(dot(t2, n)) < 1e-9
+        assert abs(dot(t1, t2)) < 1e-9
+        assert math.isclose(t1.length(), 1.0, rel_tol=1e-9)
+        # Right-handedness: t1 x t2 == n.
+        assert almost_equal(cross(t1, t2), n, tol=1e-9)
+
+
+class TestArrayBridge:
+    def test_roundtrip(self):
+        vs = [Vec3(1, 2, 3), Vec3(-4, 0, 9)]
+        arr = to_array(vs)
+        assert arr.shape == (2, 3)
+        assert from_array(arr) == vs
+
+    def test_from_array_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_array(np.zeros((3, 2)))

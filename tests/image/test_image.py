@@ -1,0 +1,139 @@
+"""Imaging: tone mapping, PPM round trips, quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.image import (
+    exposure_scale,
+    gamma_encode,
+    mean_absolute_error,
+    psnr,
+    read_ppm,
+    reinhard,
+    relative_luminance_error,
+    rmse,
+    save_radiance_ppm,
+    to_uint8,
+    write_ppm,
+)
+
+
+class TestTonemap:
+    def test_reinhard_range(self):
+        img = np.random.default_rng(1).random((8, 8, 3)) * 100.0
+        out = reinhard(img)
+        assert np.all(out >= 0.0) and np.all(out < 1.0)
+
+    def test_reinhard_monotone(self):
+        img = np.array([[[1.0, 1.0, 1.0], [10.0, 10.0, 10.0]]])
+        out = reinhard(img)
+        assert np.all(out[0, 1] > out[0, 0])
+
+    def test_exposure_ignores_zeros(self):
+        img = np.zeros((4, 4, 3))
+        img[0, 0] = [1.0, 1.0, 1.0]
+        scale_with_zero = exposure_scale(img)
+        scale_without = exposure_scale(np.ones((1, 1, 3)))
+        assert scale_with_zero == pytest.approx(scale_without)
+
+    def test_exposure_all_black(self):
+        assert exposure_scale(np.zeros((4, 4, 3))) == 1.0
+
+    def test_gamma_bounds(self):
+        out = gamma_encode(np.array([0.0, 0.5, 1.0, 2.0]))
+        assert out[0] == 0.0
+        assert out[3] == 1.0  # clipped
+        assert 0.5 < out[1] < 1.0  # gamma brightens midtones
+
+    def test_gamma_bad(self):
+        with pytest.raises(ValueError):
+            gamma_encode(np.ones(3), gamma=0.0)
+
+    def test_to_uint8(self):
+        img = np.random.default_rng(2).random((4, 4, 3))
+        out = to_uint8(img)
+        assert out.dtype == np.uint8
+        assert out.shape == (4, 4, 3)
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path):
+        img = (np.random.default_rng(3).random((6, 9, 3)) * 255).astype(np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(img, path)
+        back = read_ppm(path)
+        assert np.array_equal(img, back)
+
+    def test_write_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((4, 4), dtype=np.uint8), tmp_path / "x.ppm")
+
+    def test_write_bad_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((4, 4, 3)), tmp_path / "x.ppm")
+
+    def test_read_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.ppm"
+        p.write_bytes(b"P3\n1 1\n255\n0 0 0")
+        with pytest.raises(ValueError):
+            read_ppm(p)
+
+    def test_read_with_comment(self, tmp_path):
+        p = tmp_path / "c.ppm"
+        p.write_bytes(b"P6\n# a comment\n1 1\n255\n\x01\x02\x03")
+        img = read_ppm(p)
+        assert img.shape == (1, 1, 3)
+        assert list(img[0, 0]) == [1, 2, 3]
+
+    def test_read_truncated(self, tmp_path):
+        p = tmp_path / "t.ppm"
+        p.write_bytes(b"P6\n2 2\n255\n\x00")
+        with pytest.raises(ValueError):
+            read_ppm(p)
+
+    def test_save_radiance(self, tmp_path):
+        img = np.random.default_rng(4).random((4, 4, 3)) * 10
+        path = tmp_path / "r.ppm"
+        save_radiance_ppm(img, path)
+        assert read_ppm(path).shape == (4, 4, 3)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_identical(self):
+        a = np.random.default_rng(5).random((4, 4, 3))
+        assert rmse(a, a) == 0.0
+
+    def test_rmse_known(self):
+        a = np.zeros((1, 1, 3))
+        b = np.ones((1, 1, 3))
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2, 3)), np.zeros((3, 3, 3)))
+
+    def test_psnr_infinite_for_identical(self):
+        a = np.ones((2, 2, 3))
+        assert math.isinf(psnr(a, a))
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(6)
+        ref = rng.random((8, 8, 3))
+        small = psnr(ref, ref + 0.01)
+        large = psnr(ref, ref + 0.1)
+        assert small > large
+
+    def test_mae(self):
+        a = np.zeros((1, 1, 3))
+        b = np.full((1, 1, 3), 0.5)
+        assert mean_absolute_error(a, b) == pytest.approx(0.5)
+
+    def test_relative_luminance_error(self):
+        ref = np.ones((2, 2, 3))
+        test = np.full((2, 2, 3), 0.9)
+        assert relative_luminance_error(ref, test) == pytest.approx(0.1, abs=1e-9)
+
+    def test_relative_luminance_all_dark(self):
+        assert relative_luminance_error(np.zeros((2, 2, 3)), np.ones((2, 2, 3))) == 0.0

@@ -1,0 +1,103 @@
+"""Monte Carlo integration estimators against known integrals."""
+
+import math
+
+import pytest
+
+from repro.montecarlo import (
+    expected_value,
+    hit_or_miss_area,
+    integrate_importance,
+    integrate_uniform,
+)
+from repro.rng import Lcg48
+
+
+class TestUniform:
+    def test_linear(self):
+        res = integrate_uniform(lambda x: x, 0.0, 1.0, 20000, Lcg48(1))
+        assert res.within(0.5)
+
+    def test_sine(self):
+        res = integrate_uniform(math.sin, 0.0, math.pi, 20000, Lcg48(2))
+        assert res.within(2.0)
+
+    def test_interval_scaling(self):
+        res = integrate_uniform(lambda x: 3.0, 2.0, 5.0, 100, Lcg48(3))
+        assert res.value == pytest.approx(9.0)
+        assert res.standard_error == pytest.approx(0.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            integrate_uniform(lambda x: x, 0, 1, 0)
+        with pytest.raises(ValueError):
+            integrate_uniform(lambda x: x, 1, 0, 10)
+
+    def test_error_shrinks_with_samples(self):
+        small = integrate_uniform(lambda x: x * x, 0, 1, 500, Lcg48(4))
+        large = integrate_uniform(lambda x: x * x, 0, 1, 50000, Lcg48(4))
+        assert large.standard_error < small.standard_error
+
+
+class TestImportance:
+    def test_matches_uniform_for_uniform_pdf(self):
+        res = integrate_importance(
+            f=lambda x: x * x,
+            sampler=lambda rng: rng.uniform(),
+            pdf=lambda x: 1.0,
+            samples=20000,
+            rng=Lcg48(5),
+        )
+        assert res.within(1.0 / 3.0)
+
+    def test_perfect_importance_zero_variance(self):
+        """Sampling proportional to f gives a zero-variance estimator."""
+        # f(x) = 2x on [0,1], pdf(x) = 2x, sampler = sqrt(u).
+        res = integrate_importance(
+            f=lambda x: 2.0 * x,
+            sampler=lambda rng: math.sqrt(rng.uniform()),
+            pdf=lambda x: 2.0 * x,
+            samples=200,
+            rng=Lcg48(6),
+        )
+        assert res.value == pytest.approx(1.0)
+        assert res.standard_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_pdf_raises(self):
+        with pytest.raises(ValueError):
+            integrate_importance(
+                f=lambda x: 1.0,
+                sampler=lambda rng: 0.5,
+                pdf=lambda x: 0.0,
+                samples=10,
+            )
+
+
+class TestHitOrMiss:
+    def test_quarter_circle(self):
+        """Area under sqrt(1-x^2) on [0,1] is pi/4."""
+        res = hit_or_miss_area(
+            lambda x: math.sqrt(max(0.0, 1 - x * x)), 0.0, 1.0, 1.0, 40000, Lcg48(7)
+        )
+        assert res.within(math.pi / 4.0)
+
+    def test_bad_fmax(self):
+        with pytest.raises(ValueError):
+            hit_or_miss_area(lambda x: x, 0, 1, 0.0, 10)
+
+    def test_full_box(self):
+        res = hit_or_miss_area(lambda x: 2.0, 0.0, 1.0, 2.0, 500, Lcg48(8))
+        assert res.value == pytest.approx(2.0)
+
+
+class TestExpectedValue:
+    def test_mean_of_uniform(self):
+        res = expected_value(
+            lambda x: x, lambda rng: rng.uniform(), 20000, Lcg48(9)
+        )
+        assert res.within(0.5)
+
+    def test_within_zero_stderr(self):
+        res = expected_value(lambda x: 1.0, lambda rng: rng.uniform(), 100, Lcg48(10))
+        assert res.within(1.0)
+        assert not res.within(1.1)

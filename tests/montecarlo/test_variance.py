@@ -1,0 +1,82 @@
+"""Batch-means variance estimation."""
+
+import math
+
+import pytest
+
+from repro.montecarlo.variance import BatchMeans, autocorrelation, batch_means
+from repro.rng import Lcg48
+
+
+class TestBatchMeans:
+    def test_mean_of_constant(self):
+        res = batch_means([2.0] * 64, batches=8)
+        assert res.mean == 2.0
+        assert res.standard_error == 0.0
+
+    def test_iid_matches_naive(self):
+        rng = Lcg48(1)
+        xs = [rng.uniform() for _ in range(4096)]
+        res = batch_means(xs, batches=16)
+        naive = math.sqrt(1 / 12 / 4096)
+        assert res.mean == pytest.approx(0.5, abs=0.03)
+        # For i.i.d. data batch means agree with the naive SE within MC noise.
+        assert res.standard_error == pytest.approx(naive, rel=0.6)
+
+    def test_correlated_stream_wider_error(self):
+        """A strongly autocorrelated stream yields a larger batch-means
+        SE than the (wrong) i.i.d. formula — the method's whole point."""
+        rng = Lcg48(2)
+        xs = []
+        state = 0.0
+        for _ in range(4096):
+            state = 0.95 * state + 0.05 * (rng.uniform() - 0.5)
+            xs.append(state)
+        res = batch_means(xs, batches=16)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        naive = math.sqrt(var / len(xs))
+        assert res.standard_error > 2 * naive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 10, batches=1)
+        with pytest.raises(ValueError):
+            batch_means([1.0], batches=4)
+
+    def test_confidence_halfwidth(self):
+        res = BatchMeans(mean=1.0, standard_error=0.5, batches=8, batch_size=10)
+        assert res.confidence_halfwidth() == pytest.approx(0.98)
+
+    def test_partial_batch_dropped(self):
+        res = batch_means(list(range(10)), batches=3)
+        assert res.batch_size == 3
+        assert res.batches == 3
+
+
+class TestAutocorrelation:
+    def test_iid_near_zero(self):
+        rng = Lcg48(3)
+        xs = [rng.uniform() for _ in range(5000)]
+        assert abs(autocorrelation(xs, 1)) < 0.05
+
+    def test_ar1_positive(self):
+        rng = Lcg48(4)
+        xs = []
+        state = 0.0
+        for _ in range(5000):
+            state = 0.9 * state + 0.1 * (rng.uniform() - 0.5)
+            xs.append(state)
+        assert autocorrelation(xs, 1) > 0.7
+
+    def test_alternating_negative(self):
+        xs = [1.0 if i % 2 else -1.0 for i in range(100)]
+        assert autocorrelation(xs, 1) < -0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0] * 10, 0)
+        with pytest.raises(ValueError):
+            autocorrelation([3.0] * 10, 1)

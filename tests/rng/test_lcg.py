@@ -1,0 +1,175 @@
+"""Parallel RNG: period structure, substream disjointness, uniformity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rng import Lcg48, MODULUS
+from repro.rng.lcg import _affine_power
+
+
+class TestBasics:
+    def test_deterministic(self):
+        a, b = Lcg48(42), Lcg48(42)
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_uniform_range(self):
+        rng = Lcg48(7)
+        for _ in range(1000):
+            u = rng.uniform()
+            assert 0.0 <= u < 1.0
+
+    def test_uniform_signed_range(self):
+        rng = Lcg48(7)
+        for _ in range(1000):
+            u = rng.uniform_signed()
+            assert -1.0 <= u < 1.0
+
+    def test_draws_counter(self):
+        rng = Lcg48(1)
+        for _ in range(5):
+            rng.uniform()
+        assert rng.draws == 5
+
+    def test_randint(self):
+        rng = Lcg48(1)
+        vals = {rng.randint(4) for _ in range(200)}
+        assert vals == {0, 1, 2, 3}
+
+    def test_randint_bad(self):
+        with pytest.raises(ValueError):
+            Lcg48(1).randint(0)
+
+    def test_state_masked_to_48_bits(self):
+        rng = Lcg48((1 << 60) + 5)
+        assert rng.state < MODULUS
+
+    def test_iter_uniform(self):
+        rng = Lcg48(9)
+        assert len(list(rng.iter_uniform(7))) == 7
+
+
+class TestAffinePower:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stepping(self, k):
+        """Composed k-step map equals k sequential steps."""
+        from repro.rng.lcg import INCREMENT, MULTIPLIER
+
+        a_k, c_k = _affine_power(MULTIPLIER, INCREMENT, k)
+        x = 0x123456789
+        stepped = x
+        for _ in range(k):
+            stepped = (MULTIPLIER * stepped + INCREMENT) % MODULUS
+        assert (a_k * x + c_k) % MODULUS == stepped
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            _affine_power(5, 3, -1)
+
+
+class TestLeapfrog:
+    def test_rank0_size1_is_serial(self):
+        base = Lcg48(99)
+        leap = Lcg48.leapfrog(99, 0, 1)
+        assert [base.next_raw() for _ in range(20)] == [
+            leap.next_raw() for _ in range(20)
+        ]
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16])
+    def test_partition_exact(self, size):
+        """P substreams interleave to exactly the base sequence."""
+        base = Lcg48(1234)
+        full = [base.next_raw() for _ in range(size * 5)]
+        streams = [Lcg48.leapfrog(1234, r, size) for r in range(size)]
+        for k in range(5):
+            for r in range(size):
+                assert streams[r].next_raw() == full[k * size + r]
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Lcg48.leapfrog(1, 4, 4)
+        with pytest.raises(ValueError):
+            Lcg48.leapfrog(1, -1, 4)
+
+    def test_no_duplicates_across_ranks(self):
+        streams = [Lcg48.leapfrog(5, r, 8) for r in range(8)]
+        seen = set()
+        for s in streams:
+            for _ in range(200):
+                v = s.next_raw()
+                assert v not in seen
+                seen.add(v)
+
+
+class TestBlockSplit:
+    def test_rank0_is_serial(self):
+        base = Lcg48(7)
+        blk = Lcg48.block_split(7, 0, 4)
+        assert [base.next_raw() for _ in range(10)] == [
+            blk.next_raw() for _ in range(10)
+        ]
+
+    def test_blocks_disjoint_locally(self):
+        """Blocks start 2^48/P apart, so short prefixes never collide."""
+        streams = [Lcg48.block_split(7, r, 4) for r in range(4)]
+        seen = set()
+        for s in streams:
+            for _ in range(500):
+                v = s.next_raw()
+                assert v not in seen
+                seen.add(v)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Lcg48.block_split(1, 9, 8)
+
+
+class TestForkJump:
+    def test_jump_equivalence(self):
+        a = Lcg48(55)
+        jumped = a.fork_jump(100)
+        b = Lcg48(55)
+        for _ in range(100):
+            b.next_raw()
+        assert jumped.next_raw() == b.next_raw()
+
+
+class TestQuality:
+    def test_mean_and_variance(self):
+        """Uniform(0,1) moments at 4-sigma statistical tolerance."""
+        rng = Lcg48(2024)
+        n = 20000
+        xs = [rng.uniform() for _ in range(n)]
+        mean = sum(xs) / n
+        var = sum((x - mean) ** 2 for x in xs) / n
+        assert mean == pytest.approx(0.5, abs=4 * (1 / 12) ** 0.5 / n**0.5)
+        assert var == pytest.approx(1 / 12, abs=0.01)
+
+    def test_chi_square_bins(self):
+        rng = Lcg48(31337)
+        n, bins = 20000, 16
+        counts = [0] * bins
+        for _ in range(n):
+            counts[int(rng.uniform() * bins)] += 1
+        expected = n / bins
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        # 15 dof: the 99.9th percentile is ~37.7.
+        assert chi2 < 37.7
+
+    def test_full_period_small_prefix_distinct(self):
+        """No state repeats early (full-period generator)."""
+        rng = Lcg48(0)
+        seen = set()
+        for _ in range(10000):
+            s = rng.next_raw()
+            assert s not in seen
+            seen.add(s)
+
+    def test_serial_correlation_low(self):
+        rng = Lcg48(77)
+        n = 10000
+        xs = [rng.uniform() for _ in range(n + 1)]
+        mean = sum(xs) / len(xs)
+        num = sum((xs[i] - mean) * (xs[i + 1] - mean) for i in range(n))
+        den = sum((x - mean) ** 2 for x in xs)
+        assert abs(num / den) < 0.05

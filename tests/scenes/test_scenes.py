@@ -1,0 +1,122 @@
+"""The three Table 5.1 scenes: inventory and structural properties."""
+
+import math
+
+import pytest
+
+from repro.core.generation import SUN_HALF_ANGLE_RADIANS
+from repro.scenes import (
+    build_scene,
+    computer_lab,
+    cornell_box,
+    harpsichord_room,
+    scene_registry,
+)
+
+
+class TestCornell:
+    def test_polygon_count_matches_table_5_1(self, cornell):
+        assert cornell.defining_polygon_count == 30
+
+    def test_has_mirror(self, cornell):
+        mirrors = [p for p in cornell.patches if p.material.is_mirror]
+        assert len(mirrors) >= 2  # front and back faces of the panel
+
+    def test_single_luminaire(self, cornell):
+        assert len(cornell.luminaires) == 1
+
+    def test_colored_walls(self, cornell):
+        names = {p.material.name for p in cornell.patches}
+        assert "red" in names and "green" in names
+
+    def test_open_front(self, cornell):
+        """No patch on the z=2 plane (the open viewing side)."""
+        for p in cornell.patches:
+            if all(abs(c.z - 2.0) < 1e-9 for c in p.corners()):
+                pytest.fail(f"front should be open but found {p.name}")
+
+
+class TestHarpsichord:
+    def test_polygon_count_near_100(self, harpsichord):
+        assert 90 <= harpsichord.defining_polygon_count <= 110
+
+    def test_collimated_skylights(self, harpsichord):
+        sun_lums = [
+            l for l in harpsichord.luminaires if l.beam_half_angle is not None
+        ]
+        assert len(sun_lums) == 2
+        for l in sun_lums:
+            assert l.beam_half_angle == pytest.approx(SUN_HALF_ANGLE_RADIANS)
+
+    def test_diffuse_sky_panels(self, harpsichord):
+        sky = [l for l in harpsichord.luminaires if l.beam_half_angle is None]
+        assert len(sky) == 4
+
+    def test_has_mirror_shelf(self, harpsichord):
+        assert any(p.material.is_mirror for p in harpsichord.patches)
+
+    def test_has_glossy_surfaces(self, harpsichord):
+        """Semi-diffuse wood: the case two-pass methods get wrong."""
+        glossy = [
+            p
+            for p in harpsichord.patches
+            if p.material.specular > 0 and p.material.gloss is not None
+        ]
+        assert glossy
+
+
+class TestComputerLab:
+    def test_polygon_count_near_2000(self, request):
+        lab = request.getfixturevalue("lab_small")
+        # the full-size builder is checked arithmetically to avoid a
+        # second expensive octree build:
+        full_count = computer_lab.__defaults__  # no defaults: compute below
+        scene = computer_lab(workstations=22)
+        assert 1800 <= scene.defining_polygon_count <= 2100
+
+    def test_many_even_lights(self, lab_small):
+        assert len(lab_small.luminaires) >= 2
+
+    def test_workstation_scaling(self):
+        small = computer_lab(workstations=2)
+        big = computer_lab(workstations=4)
+        assert big.defining_polygon_count - small.defining_polygon_count == 2 * 84
+
+    def test_invalid_workstations(self):
+        with pytest.raises(ValueError):
+            computer_lab(workstations=0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert sorted(scene_registry()) == [
+            "computer-lab",
+            "cornell-box",
+            "harpsichord-room",
+        ]
+
+    def test_build_scene(self):
+        scene = build_scene("cornell-box")
+        assert scene.name == "cornell-box"
+
+    def test_unknown_scene(self):
+        with pytest.raises(KeyError, match="cornell-box"):
+            build_scene("atrium")
+
+
+class TestSceneSanity:
+    @pytest.mark.parametrize("fixture", ["cornell", "harpsichord", "lab_small"])
+    def test_all_patches_finite(self, request, fixture):
+        scene = request.getfixturevalue(fixture)
+        for p in scene.patches:
+            assert p.area > 0
+            assert math.isfinite(p.normal.length())
+
+    @pytest.mark.parametrize("fixture", ["cornell", "harpsichord", "lab_small"])
+    def test_short_simulation_runs(self, request, fixture):
+        from repro.core import PhotonSimulator, SimulationConfig
+
+        scene = request.getfixturevalue(fixture)
+        res = PhotonSimulator(scene, SimulationConfig(n_photons=50)).run()
+        res.forest.check_invariants()
+        assert res.forest.total_tallies >= 50

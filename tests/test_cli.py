@@ -1,0 +1,144 @@
+"""CLI: the simulate/view/trace workflow end to end."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.image import read_ppm
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "cornell-box", "--photons", "100", "--out", "x.json"]
+        )
+        assert args.photons == 100
+        assert args.scene == "cornell-box"
+
+    def test_hex_seed(self):
+        args = build_parser().parse_args(
+            ["simulate", "s", "--seed", "0xBEEF", "--out", "x.json"]
+        )
+        assert args.seed == 0xBEEF
+
+
+class TestScenesCommand:
+    def test_lists_all(self):
+        out = io.StringIO()
+        assert main(["scenes"], out=out) == 0
+        text = out.getvalue()
+        for name in ("cornell-box", "harpsichord-room", "computer-lab"):
+            assert name in text
+
+
+class TestSimulateViewWorkflow:
+    def test_full_workflow(self, tmp_path):
+        answer = tmp_path / "a.json"
+        ppm = tmp_path / "v.ppm"
+        out = io.StringIO()
+        rc = main(
+            [
+                "simulate",
+                "cornell-box",
+                "--photons",
+                "400",
+                "--out",
+                str(answer),
+            ],
+            out=out,
+        )
+        assert rc == 0
+        assert answer.exists()
+        assert "bins" in out.getvalue()
+
+        rc = main(
+            [
+                "view",
+                "cornell-box",
+                str(answer),
+                "--out",
+                str(ppm),
+                "--width",
+                "24",
+                "--height",
+                "18",
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        assert read_ppm(ppm).shape == (18, 24, 3)
+
+    def test_view_custom_camera(self, tmp_path):
+        answer = tmp_path / "a.json"
+        main(
+            ["simulate", "cornell-box", "--photons", "200", "--out", str(answer)],
+            out=io.StringIO(),
+        )
+        ppm = tmp_path / "custom.ppm"
+        rc = main(
+            [
+                "view",
+                "cornell-box",
+                str(answer),
+                "--out",
+                str(ppm),
+                "--width",
+                "8",
+                "--height",
+                "8",
+                "--eye",
+                "1.0",
+                "1.5",
+                "3.5",
+                "--look-at",
+                "1.0",
+                "0.8",
+                "0.5",
+                "--fov",
+                "50",
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 0 and ppm.exists()
+
+    def test_unknown_scene(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(
+                ["simulate", "atrium", "--photons", "10", "--out", str(tmp_path / "x")],
+                out=io.StringIO(),
+            )
+
+
+class TestTraceCommand:
+    def test_trace_prints_figure(self):
+        out = io.StringIO()
+        rc = main(
+            [
+                "trace",
+                "cornell-box",
+                "--platform",
+                "sp2",
+                "--ranks",
+                "1",
+                "2",
+                "4",
+                "--duration",
+                "120",
+                "--read-at",
+                "100",
+            ],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "IBM SP-2" in text
+        assert "speedup@100s" in text
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            main(["trace", "cornell-box", "--platform", "cray"], out=io.StringIO())
