@@ -1,35 +1,15 @@
-"""Shared fixtures for the reproduction benches.
+"""Benchmark-suite conftest.
 
-Scenes and calibration profiles are expensive; they are built once per
-session.  Every bench prints the table/figure it regenerates (run with
-``-s`` to see them) and asserts the published *shape* — orderings, dips,
-crossovers — never absolute numbers, per EXPERIMENTS.md.
+Session-scoped scene and calibration fixtures live in the repo-root
+``conftest.py``, shared with ``tests/`` (so benches can parametrize over
+the ``engine`` fixture without duplicating them).  Every bench prints
+the table/figure it regenerates (run with ``-s`` to see them) and
+asserts the published *shape* — orderings, dips, crossovers — never
+absolute numbers, per EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.cluster import profile_scene
-from repro.scenes import computer_lab, cornell_box, harpsichord_room
-
 #: Reading time for fixed-time speedups, chosen late enough that every
 #: platform's startup has amortised.
 SPEEDUP_READ_TIME = 250.0
-
-
-@pytest.fixture(scope="session")
-def scenes():
-    return {
-        "cornell-box": cornell_box(),
-        "harpsichord-room": harpsichord_room(),
-        "computer-lab": computer_lab(),
-    }
-
-
-@pytest.fixture(scope="session")
-def profiles(scenes):
-    return {
-        name: profile_scene(scene, photons=250)
-        for name, scene in scenes.items()
-    }

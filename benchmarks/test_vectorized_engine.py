@@ -1,0 +1,88 @@
+"""Vector-engine throughput: the batched fast path must beat the scalar
+loop by a wide margin while producing the identical answer.
+
+Records photons/sec for the scalar reference loop, the vector engine,
+and the process-pool backend on the Cornell scene at 50k photons, and
+asserts the acceptance floor: vector >= 5x scalar.  (The parity suite —
+``tests/core/test_vectorized_parity.py`` — separately proves the speedup
+changes no tally; here we only spot-check totals.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import PhotonSimulator, SimulationConfig
+from repro.perf import format_table
+
+PHOTONS = 50_000
+SEED = 0x1234ABCD330E
+
+#: Acceptance floor for the batched engine on Cornell at 50k photons.
+SPEEDUP_FLOOR = 5.0
+
+
+def _measure(scene, **config_kwargs):
+    config = SimulationConfig(n_photons=PHOTONS, seed=SEED, **config_kwargs)
+    t0 = time.perf_counter()
+    result = PhotonSimulator(scene, config).run()
+    elapsed = time.perf_counter() - t0
+    return PHOTONS / elapsed, result
+
+
+@pytest.fixture(scope="module")
+def throughputs(request):
+    cornell = request.getfixturevalue("cornell")
+    rates = {}
+    results = {}
+    rates["scalar"], results["scalar"] = _measure(cornell, engine="scalar")
+    rates["vector"], results["vector"] = _measure(cornell, engine="vector")
+    rates["procpool(2)"], results["procpool(2)"] = _measure(
+        cornell, engine="vector", workers=2
+    )
+    return rates, results
+
+
+def test_vector_speedup_floor(throughputs):
+    """The tentpole acceptance number: >= 5x photons/sec over scalar."""
+    rates, _ = throughputs
+    speedup = rates["vector"] / rates["scalar"]
+    rows = [
+        [name, f"{rate:,.0f}", f"{rate / rates['scalar']:.2f}x"]
+        for name, rate in rates.items()
+    ]
+    print()
+    print(f"Cornell box, {PHOTONS:,} photons:")
+    print(format_table(["engine", "photons/sec", "vs scalar"], rows))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vector engine {speedup:.2f}x scalar — below the {SPEEDUP_FLOOR}x floor"
+    )
+
+
+def test_engines_agree_on_totals(throughputs):
+    """Same tally mass regardless of engine (full parity is tested in
+    tests/core/test_vectorized_parity.py; scalar here runs the legacy
+    serial stream, so only conservation-level equality is expected)."""
+    _, results = throughputs
+    for result in results.values():
+        result.forest.check_invariants()
+        assert result.forest.photons_emitted == PHOTONS
+    assert (
+        results["vector"].forest.total_tallies
+        == results["procpool(2)"].forest.total_tallies
+    )
+    assert results["vector"].stats == results["procpool(2)"].stats
+
+
+def test_engine_throughput_positive(cornell, engine):
+    """Both engines trace a small budget through the shared fixture
+    parametrization (the `engine` fixture from the root conftest)."""
+    config = SimulationConfig(n_photons=2_000, seed=SEED, engine=engine)
+    t0 = time.perf_counter()
+    result = PhotonSimulator(cornell, config).run()
+    elapsed = time.perf_counter() - t0
+    assert result.stats.photons == 2_000
+    assert elapsed > 0.0
+    print(f"\n{engine}: {2_000 / elapsed:,.0f} photons/sec (2k budget)")

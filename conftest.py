@@ -1,0 +1,73 @@
+"""Repo-wide fixtures shared by ``tests/`` and ``benchmarks/``.
+
+Scenes are expensive to build, so they are session-scoped; tests must
+never mutate one (patch ids are assigned at construction and shared).
+Forests/simulations built *from* the scenes are cheap and constructed
+per-test.  The ``engine`` fixture lets any test or bench parametrize
+over the scalar and vector tracing engines without copy-paste.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import profile_scene
+from repro.core import ENGINES, SimulationConfig, SplitPolicy
+from repro.geometry import Scene
+from repro.scenes import computer_lab, cornell_box, harpsichord_room
+from tests.scenehelpers import build_mini_scene
+
+
+@pytest.fixture(scope="session")
+def mini_scene() -> Scene:
+    return build_mini_scene()
+
+
+@pytest.fixture(scope="session")
+def cornell() -> Scene:
+    return cornell_box()
+
+
+@pytest.fixture(scope="session")
+def harpsichord() -> Scene:
+    return harpsichord_room()
+
+
+@pytest.fixture(scope="session")
+def lab_small() -> Scene:
+    """A reduced Computer Lab (4 workstations) for affordable tests."""
+    return computer_lab(workstations=4)
+
+
+@pytest.fixture()
+def fast_config() -> SimulationConfig:
+    """A small, deterministic simulation configuration."""
+    return SimulationConfig(
+        n_photons=400,
+        seed=0xC0FFEE,
+        policy=SplitPolicy(min_count=16, max_depth=12),
+    )
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request) -> str:
+    """Parametrizes a test over every tracing engine."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def scenes(cornell, harpsichord):
+    """Full-size Table 5.1 scene set (benchmarks calibrate on these)."""
+    return {
+        "cornell-box": cornell,
+        "harpsichord-room": harpsichord,
+        "computer-lab": computer_lab(),
+    }
+
+
+@pytest.fixture(scope="session")
+def profiles(scenes):
+    return {
+        name: profile_scene(scene, photons=250)
+        for name, scene in scenes.items()
+    }

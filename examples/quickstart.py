@@ -6,8 +6,23 @@ Carlo light-transport *simulation* stage that builds the 4-D histogram
 answer, then a cheap single-bounce *viewing* stage that can be repeated
 from any viewpoint without re-simulating (Figure 4.10).
 
+Engines
+-------
+Three interchangeable ways to run the simulation stage, all producing
+bit-identical answer files under per-photon substream RNG:
+
+* ``--engine scalar`` — the per-photon reference loop (the correctness
+  oracle; ~10k photons/s on the Cornell box).
+* ``--engine vector`` — the NumPy batch engine: photons traced in
+  structure-of-arrays batches (typically 5-8x faster).
+* ``--engine vector --workers N`` — batches sharded across a
+  multiprocessing pool; on a multi-core machine this multiplies the
+  vector rate again.
+
 Run:
     python examples/quickstart.py [--photons 20000] [--out-dir .]
+    python examples/quickstart.py --engine vector --workers 4
+    python examples/quickstart.py --compare-engines
 """
 
 from __future__ import annotations
@@ -36,18 +51,33 @@ def main() -> None:
     parser.add_argument("--out-dir", type=Path, default=Path("."))
     parser.add_argument("--width", type=int, default=160)
     parser.add_argument("--height", type=int, default=120)
+    parser.add_argument("--engine", choices=("scalar", "vector"), default="vector")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--compare-engines",
+        action="store_true",
+        help="time scalar vs vector on the same budget and check parity",
+    )
     args = parser.parse_args()
 
     scene = cornell_box()
     print(f"scene: {scene.name} — {scene.defining_polygon_count} defining polygons")
 
+    if args.compare_engines:
+        compare_engines(scene, args.photons)
+        return
+
     # --- Simulation stage -------------------------------------------------
+    config = SimulationConfig(
+        n_photons=args.photons, engine=args.engine, workers=args.workers
+    )
     t0 = time.perf_counter()
-    result = PhotonSimulator(scene, SimulationConfig(n_photons=args.photons)).run()
+    result = PhotonSimulator(scene, config).run()
     dt = time.perf_counter() - t0
+    label = args.engine + (f" x{args.workers} procs" if args.workers > 1 else "")
     print(
         f"simulated {args.photons:,} photons in {dt:.1f}s "
-        f"({args.photons / dt:,.0f} photons/s)"
+        f"({args.photons / dt:,.0f} photons/s, {label})"
     )
     print(
         f"answer: {result.forest.leaf_count:,} view-dependent bins, "
@@ -83,6 +113,29 @@ def main() -> None:
         out = args.out_dir / name
         save_radiance_ppm(image, out)
         print(f"rendered {out} in {time.perf_counter() - t0:.1f}s (no re-simulation)")
+
+
+def compare_engines(scene, photons: int) -> None:
+    """Time the scalar oracle against the vector engine, prove parity."""
+    from repro.core import forest_to_dict
+
+    rates = {}
+    forests = {}
+    for engine in ("scalar", "vector"):
+        config = SimulationConfig(
+            n_photons=photons, engine=engine, rng_mode="substream"
+        )
+        t0 = time.perf_counter()
+        result = PhotonSimulator(scene, config).run()
+        dt = time.perf_counter() - t0
+        rates[engine] = photons / dt
+        forests[engine] = forest_to_dict(result.forest)
+        print(f"{engine:>7s}: {rates[engine]:>10,.0f} photons/s ({dt:.2f}s)")
+    print(f"speedup: {rates['vector'] / rates['scalar']:.1f}x")
+    identical = forests["scalar"] == forests["vector"]
+    print(f"answers bit-identical: {identical}")
+    if not identical:
+        raise SystemExit("engine parity violated — run the parity test suite")
 
 
 if __name__ == "__main__":

@@ -59,11 +59,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenes", help="list the registered test scenes")
 
-    p_sim = sub.add_parser("simulate", help="run the Photon simulation stage")
+    p_sim = sub.add_parser(
+        "simulate",
+        help="run the Photon simulation stage",
+        description=(
+            "Engines: 'scalar' is the per-photon reference loop; 'vector' "
+            "traces photons in NumPy batches (several times faster, "
+            "bit-identical answers under --rng substream) and with "
+            "--workers N shards batches across a process pool for "
+            "multi-core speedup."
+        ),
+    )
     p_sim.add_argument("scene", help="registered scene name")
     p_sim.add_argument("--photons", type=int, default=20_000)
     p_sim.add_argument("--seed", type=lambda v: int(v, 0), default=0x1234ABCD330E)
     p_sim.add_argument("--sigma", type=float, default=3.0, help="bin split threshold")
+    p_sim.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="tracing engine (vector = NumPy batch engine)",
+    )
+    p_sim.add_argument(
+        "--rng",
+        choices=("auto", "stream", "substream"),
+        default="auto",
+        help=(
+            "RNG discipline: one serial stream (historical scalar "
+            "behaviour) or per-photon substreams (engine-independent "
+            "answers); auto picks stream for scalar, substream for vector"
+        ),
+    )
+    p_sim.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the vector engine (>1 uses a multiprocessing pool)",
+    )
+    p_sim.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        help="photons per vector batch",
+    )
     p_sim.add_argument("--out", type=Path, required=True, help="answer file path")
 
     p_view = sub.add_parser("view", help="render a viewpoint from an answer file")
@@ -86,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4, 8])
     p_trace.add_argument("--duration", type=float, default=320.0)
     p_trace.add_argument("--read-at", type=float, default=250.0)
+    p_trace.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="engine used for the calibration profile",
+    )
 
     return parser
 
@@ -107,15 +151,22 @@ def _cmd_simulate(args, out) -> int:
         n_photons=args.photons,
         seed=args.seed,
         policy=SplitPolicy(threshold=args.sigma),
+        engine=args.engine,
+        rng_mode=args.rng,
+        batch_size=args.batch_size,
+        workers=args.workers,
     )
     t0 = time.perf_counter()
     result = PhotonSimulator(scene, config).run()
     dt = time.perf_counter() - t0
     result.forest.check_invariants()
     save_answer(result.forest, args.out)
+    engine_label = config.engine
+    if config.engine == "vector" and config.workers > 1:
+        engine_label = f"vector x{config.workers} procs"
     print(
         f"{args.photons:,} photons in {dt:.1f}s "
-        f"({args.photons / max(dt, 1e-9):,.0f}/s); "
+        f"({args.photons / max(dt, 1e-9):,.0f}/s, {engine_label}); "
         f"{result.forest.leaf_count:,} bins; "
         f"answer -> {args.out}",
         file=out,
@@ -160,7 +211,7 @@ def _cmd_view(args, out) -> int:
 def _cmd_trace(args, out) -> int:
     machine = platform_by_name(args.platform)
     scene = build_scene(args.scene)
-    profile = profile_scene(scene, photons=250)
+    profile = profile_scene(scene, photons=250, engine=args.engine)
     family = trace_family(
         machine, profile, sorted(set(args.ranks)), duration_s=args.duration
     )

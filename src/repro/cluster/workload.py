@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.bintree import NODE_BYTES, BinForest, SplitPolicy
-from ..core.simulator import TraceStats, trace_photon
+from ..core.simulator import ENGINES, TraceStats, trace_photon
 from ..geometry.scene import Scene
 from ..rng import Lcg48
 
@@ -93,10 +93,25 @@ class SceneProfile:
         return leaves * 2.0 * NODE_BYTES
 
 
-def profile_scene(scene: Scene, photons: int = 400, seed: int = 2024) -> SceneProfile:
-    """Measure a :class:`SceneProfile` by tracing *photons* real photons."""
+def profile_scene(
+    scene: Scene, photons: int = 400, seed: int = 2024, engine: str = "scalar"
+) -> SceneProfile:
+    """Measure a :class:`SceneProfile` by tracing *photons* real photons.
+
+    Args:
+        engine: ``"scalar"`` traces the calibration photons through the
+            reference loop and reads the octree's traversal counters;
+            ``"vector"`` runs the batch engine and reports its own work
+            counters (lane-x-leaf slab tests as ``nodes_per_photon``,
+            lane-x-patch plane tests as ``tests_per_photon``) — the
+            honest cost profile of the batched intersector.
+    """
     if photons < 10:
         raise ValueError("need at least 10 calibration photons")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
+    if engine == "vector":
+        return _profile_scene_vector(scene, photons, seed)
     rng = Lcg48(seed)
     forest = BinForest(SplitPolicy())
     stats = TraceStats()
@@ -119,6 +134,35 @@ def profile_scene(scene: Scene, photons: int = 400, seed: int = 2024) -> ScenePr
         events_per_photon=total / photons,
         nodes_per_photon=octree_stats.nodes_visited / photons,
         tests_per_photon=octree_stats.intersection_tests / photons,
+        concentration=concentration,
+        leaves_per_photon=(forest.leaf_count - forest.tree_count) / photons
+        + forest.tree_count / photons,
+        calibration_photons=photons,
+    )
+
+
+def _profile_scene_vector(scene: Scene, photons: int, seed: int) -> SceneProfile:
+    """Vector-engine calibration body of :func:`profile_scene`."""
+    from ..core.vectorized import VectorEngine, apply_events
+
+    engine = VectorEngine(scene)
+    forest = BinForest(SplitPolicy())
+    events, _stats = engine.trace_range(seed, 0, photons)
+    events = events.sorted_canonical()
+    apply_events(forest, events)
+    forest.photons_emitted = photons
+    patch_tallies: dict[int, int] = {}
+    for pid in events.patch.tolist():
+        patch_tallies[pid] = patch_tallies.get(pid, 0) + 1
+
+    total = sum(patch_tallies.values())
+    concentration = sum((c / total) ** 2 for c in patch_tallies.values())
+    return SceneProfile(
+        name=scene.name,
+        defining_polygons=scene.defining_polygon_count,
+        events_per_photon=total / photons,
+        nodes_per_photon=engine.box_tests / photons,
+        tests_per_photon=engine.patch_tests / photons,
         concentration=concentration,
         leaves_per_photon=(forest.leaf_count - forest.tree_count) / photons
         + forest.tree_count / photons,

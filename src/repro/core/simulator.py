@@ -47,6 +47,13 @@ __all__ = [
 MAX_BOUNCES = 200
 
 
+#: Engines selectable through :attr:`SimulationConfig.engine`.
+ENGINES = ("scalar", "vector")
+
+#: RNG disciplines selectable through :attr:`SimulationConfig.rng_mode`.
+RNG_MODES = ("auto", "stream", "substream")
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Run parameters for a Photon simulation.
@@ -58,16 +65,60 @@ class SimulationConfig:
         fluorescence: Optional Stokes-shift conversion spec (the
             chapter-6 extension); when set, would-be absorptions may
             re-emit in a lower band.  ``None`` disables it.
+        engine: ``"scalar"`` is the per-photon reference loop; ``"vector"``
+            is the NumPy batch engine of :mod:`repro.core.vectorized`
+            (bit-exact with the scalar engine under ``"substream"`` RNG).
+        rng_mode: ``"stream"`` consumes one serial drand48 stream across
+            all photons (the historical scalar behaviour); ``"substream"``
+            gives photon *i* its own counter-based substream, which is
+            what makes batched and sharded tracing order-independent.
+            ``"auto"`` resolves to ``"stream"`` for the scalar engine and
+            ``"substream"`` for the vector engine.
+        batch_size: Photons per structure-of-arrays batch (vector engine).
+        workers: Process count for the vector engine; > 1 shards batches
+            across a multiprocessing pool
+            (:mod:`repro.parallel.procpool`).
     """
 
     n_photons: int
     seed: int = 0x1234ABCD330E
     policy: SplitPolicy = field(default_factory=SplitPolicy)
     fluorescence: Optional["FluorescenceSpec"] = None
+    engine: str = "scalar"
+    rng_mode: str = "auto"
+    batch_size: int = 4096
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
             raise ValueError("n_photons must be non-negative")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; pick from {ENGINES}")
+        if self.rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"unknown rng_mode {self.rng_mode!r}; pick from {RNG_MODES}"
+            )
+        if self.engine == "vector" and self.rng_mode == "stream":
+            raise ValueError(
+                "the vector engine requires per-photon substreams; "
+                "use rng_mode='substream' (or 'auto')"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.workers > 1 and self.engine != "vector":
+            raise ValueError(
+                "workers > 1 requires the vector engine (the scalar loop "
+                "would silently ignore the pool); pass engine='vector'"
+            )
+
+    @property
+    def resolved_rng_mode(self) -> str:
+        """The effective RNG discipline after ``"auto"`` resolution."""
+        if self.rng_mode != "auto":
+            return self.rng_mode
+        return "substream" if self.engine == "vector" else "stream"
 
 
 @dataclass
@@ -202,42 +253,91 @@ class PhotonSimulator:
 
     def run(self) -> SimulationResult:
         """Run the full photon budget and return the answer forest."""
-        forest = BinForest(self.config.policy)
-        stats = TraceStats()
-        rng = Lcg48(self.config.seed)
-        for _ in range(self.config.n_photons):
-            events, photon_stats = trace_photon(
-                self.scene, rng, fluorescence=self.config.fluorescence
+        config = self.config
+        if config.engine == "vector":
+            if config.workers > 1:
+                from ..parallel.procpool import run_procpool
+
+                return run_procpool(self.scene, config)
+            from .vectorized import VectorEngine
+
+            engine = VectorEngine(
+                self.scene,
+                fluorescence=config.fluorescence,
+                batch_size=config.batch_size,
             )
-            stats.merge(photon_stats)
-            for event in events:
-                forest.tally(event.patch_id, event.coords, event.band)
-            forest.photons_emitted += 1
-            forest.band_emitted[events[0].band] += 1
-        return SimulationResult(forest, stats, self.config, self.scene.name)
+            return engine.run(config)
+
+        forest = BinForest(config.policy)
+        stats = TraceStats()
+        for rng in self._scalar_streams():
+            self._trace_one(forest, stats, rng)
+        return SimulationResult(forest, stats, config, self.scene.name)
+
+    def _scalar_streams(self) -> Iterator[Lcg48]:
+        """One RNG per photon under the configured discipline.
+
+        ``"stream"`` yields the same serial generator every time (the
+        historical behaviour); ``"substream"`` yields photon *i*'s private
+        counter-based stream, matching the vector engine draw-for-draw.
+        """
+        config = self.config
+        if config.resolved_rng_mode == "substream":
+            from .vectorized import photon_substream
+
+            for i in range(config.n_photons):
+                yield photon_substream(config.seed, i)
+        else:
+            rng = Lcg48(config.seed)
+            for _ in range(config.n_photons):
+                yield rng
+
+    def _trace_one(self, forest: BinForest, stats: TraceStats, rng: Lcg48) -> None:
+        """Trace one photon and tally its events (shared by run paths)."""
+        events, photon_stats = trace_photon(
+            self.scene, rng, fluorescence=self.config.fluorescence
+        )
+        stats.merge(photon_stats)
+        for event in events:
+            forest.tally(event.patch_id, event.coords, event.band)
+        forest.photons_emitted += 1
+        forest.band_emitted[events[0].band] += 1
 
     def run_batches(self, batch_size: int) -> Iterator[SimulationResult]:
         """Yield cumulative results after each batch of *batch_size* photons.
 
         Used by the memory-growth (Fig. 5.4) and speed-trace harnesses;
-        the same forest object accumulates across yields.
+        the same forest object accumulates across yields.  Works under
+        every engine: the vector engine traces each yielded batch in
+        structure-of-arrays form.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
-        forest = BinForest(self.config.policy)
+        config = self.config
+        forest = BinForest(config.policy)
         stats = TraceStats()
-        rng = Lcg48(self.config.seed)
-        remaining = self.config.n_photons
+        if config.engine == "vector":
+            from .vectorized import VectorEngine, tally_block
+
+            engine = VectorEngine(
+                self.scene,
+                fluorescence=config.fluorescence,
+                batch_size=batch_size,
+            )
+            done = 0
+            while done < config.n_photons:
+                todo = min(batch_size, config.n_photons - done)
+                block, batch_stats = engine.trace_range(config.seed, done, todo)
+                stats.merge(batch_stats)
+                tally_block(forest, block, todo)
+                done += todo
+                yield SimulationResult(forest, stats, config, self.scene.name)
+            return
+        streams = self._scalar_streams()
+        remaining = config.n_photons
         while remaining > 0:
             todo = min(batch_size, remaining)
             for _ in range(todo):
-                events, photon_stats = trace_photon(
-                    self.scene, rng, fluorescence=self.config.fluorescence
-                )
-                stats.merge(photon_stats)
-                for event in events:
-                    forest.tally(event.patch_id, event.coords, event.band)
-                forest.photons_emitted += 1
-                forest.band_emitted[events[0].band] += 1
+                self._trace_one(forest, stats, next(streams))
             remaining -= todo
-            yield SimulationResult(forest, stats, self.config, self.scene.name)
+            yield SimulationResult(forest, stats, config, self.scene.name)

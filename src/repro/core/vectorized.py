@@ -1,0 +1,872 @@
+"""Vectorized batch photon engine: structure-of-arrays tracing.
+
+The scalar reference (:func:`repro.core.simulator.trace_photon`) walks one
+photon at a time through emission -> intersect -> reflect, consuming one
+``drand48`` stream.  This module traces *batches* of photons in NumPy
+structure-of-arrays form — batched emission, batched ray/patch
+intersection (octree-leaf candidate pruning for large scenes), batched
+roulette/lobe sampling — while remaining **bit-exact** with the scalar
+path photon-for-photon.
+
+Bit-exactness is what lets the parity suite compare bin forests
+tally-for-tally instead of statistically.  Three disciplines make it
+possible:
+
+* **Per-photon counter-based RNG substreams.**  Photon *i* owns the
+  substream starting ``(i + 1) * 2**20`` steps into the base sequence
+  (:func:`photon_substream` — the same convention
+  :mod:`repro.parallel.geomdist` uses for its wire photons).  Lanes never
+  share a stream, so lane-synchronous masked execution consumes each
+  photon's draws in exactly the scalar order.  The LCG itself vectorises
+  on ``uint64`` (the product wraps mod 2**64, a multiple of the 2**48
+  modulus, so masking gives the exact drand48 recurrence).
+
+* **Expression-order fidelity.**  Every arithmetic expression replicates
+  the scalar source's association order (IEEE adds are not associative),
+  e.g. ``(n.x*d.x + n.y*d.y) + n.z*d.z`` for dot products.
+
+* **Scalar transcendentals where NumPy's differ.**  This NumPy build's
+  SIMD ``arctan2`` and ``power`` differ from libm by 1 ulp on ~7% of
+  inputs; those two functions are evaluated with :mod:`math` over the
+  (few) event lanes.  ``sin``/``cos``/``sqrt`` are bit-identical and stay
+  vectorized.
+
+Closest-hit ties (two patches at the *same* float distance) are resolved
+toward the highest patch index, matching the linear reference scan; the
+octree reference can disagree only on cross-cell exact-distance ties,
+which the parity suite never observes on the test scenes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..geometry.ray import EPSILON
+from ..geometry.scene import Scene
+from ..geometry.vec import Vec3, orthonormal_basis
+from ..rng import Lcg48
+from ..rng.lcg import INCREMENT, MODULUS, MULTIPLIER, _affine_power
+from .binning import TWO_PI, BinCoords
+from .bintree import BinForest, SplitPolicy
+from .photon import NUM_BANDS
+
+if TYPE_CHECKING:  # pragma: no cover — import-cycle guard
+    from .fluorescence import FluorescenceSpec
+    from .simulator import TraceStats
+
+__all__ = [
+    "SUBSTREAM_SPACING_BITS",
+    "photon_substream",
+    "substream_states",
+    "SceneArrays",
+    "EventBatch",
+    "EmissionBatch",
+    "VectorEngine",
+    "apply_events",
+    "tally_block",
+    "PRUNE_PATCH_THRESHOLD",
+]
+
+#: Each photon's private substream starts ``(index + 1) << 20`` draws into
+#: the base sequence; no physical path consumes anywhere near 2**20 draws
+#: (the bounce cap alone limits it to a few thousand).
+SUBSTREAM_SPACING_BITS = 20
+
+#: Dense all-patches intersection wins below this patch count; above it
+#: the octree-leaf candidate pruning pays for its per-leaf overhead.
+PRUNE_PATCH_THRESHOLD = 192
+
+_MASK = MODULUS - 1
+_INV_MODULUS = 1.0 / MODULUS
+_U64 = np.uint64
+_A64 = _U64(MULTIPLIER)
+_C64 = _U64(INCREMENT)
+_MASK64 = _U64(_MASK)
+
+#: Mirrors ``repro.core.reflection._GLOSS_RETRIES``.
+_GLOSS_RETRIES = 8
+
+
+def photon_substream(seed: int, index: int) -> Lcg48:
+    """The private scalar RNG stream of photon *index*.
+
+    Identical to the wire-photon streams of
+    :mod:`repro.parallel.geomdist`: a jump of ``(index + 1) << 20`` steps
+    from the base sequence.
+    """
+    return Lcg48(seed).fork_jump((index + 1) << SUBSTREAM_SPACING_BITS)
+
+
+def substream_states(seed: int, start: int, count: int) -> np.ndarray:
+    """Starting LCG states of photons ``start .. start+count`` as uint64.
+
+    ``out[i]`` equals ``photon_substream(seed, start + i).state``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out = np.empty(count, dtype=np.uint64)
+    if count == 0:
+        return out
+    a_s, c_s = _affine_power(MULTIPLIER, INCREMENT, (start + 1) << SUBSTREAM_SPACING_BITS)
+    a_m, c_m = _affine_power(MULTIPLIER, INCREMENT, 1 << SUBSTREAM_SPACING_BITS)
+    state = (a_s * (seed & _MASK) + c_s) & _MASK
+    for i in range(count):
+        out[i] = state
+        state = (a_m * state + c_m) & _MASK
+    return out
+
+
+def _atan2_theta(ly: np.ndarray, lx: np.ndarray) -> np.ndarray:
+    """``atan2`` folded to [0, 2 pi), via libm for bit-parity with scalar."""
+    atan2 = math.atan2
+    vals = [atan2(b, a) for a, b in zip(lx.tolist(), ly.tolist())]
+    theta = np.array(vals, dtype=np.float64) if vals else np.empty(0)
+    return np.where(theta < 0.0, theta + 2.0 * math.pi, theta)
+
+
+def _pow_scalar(base: np.ndarray, exponent: np.ndarray) -> np.ndarray:
+    """Element-wise ``base ** exponent`` via libm (NumPy's differs by 1 ulp)."""
+    vals = [a ** b for a, b in zip(base.tolist(), exponent.tolist())]
+    return np.array(vals, dtype=np.float64) if vals else np.empty(0)
+
+
+def _sincos_scalar(phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Element-wise libm sin/cos.
+
+    NumPy's SIMD float64 sin/cos happen to match libm on this build, but
+    that is not an IEEE guarantee; the bit-parity contract must not
+    depend on it.  Only the (rare) glossy lanes pay the scalar cost.
+    """
+    sin, cos = math.sin, math.cos
+    vals = phi.tolist()
+    s = np.array([sin(v) for v in vals], dtype=np.float64) if vals else np.empty(0)
+    c = np.array([cos(v) for v in vals], dtype=np.float64) if vals else np.empty(0)
+    return s, c
+
+
+class SceneArrays:
+    """Structure-of-arrays mirror of a :class:`Scene` for batched kernels.
+
+    Pure precomputation: every derived quantity (plane constants, Gram
+    inverses, tangent bases) is produced by the same scalar code the
+    reference tracer uses, so gathered values are bit-identical.
+    """
+
+    def __init__(self, scene: Scene) -> None:
+        self.scene = scene
+        patches = scene.patches
+        n = len(patches)
+
+        def vec_cols(getter):
+            a = np.empty((3, n))
+            for i, p in enumerate(patches):
+                v = getter(p)
+                a[0, i] = v.x
+                a[1, i] = v.y
+                a[2, i] = v.z
+            return a[0].copy(), a[1].copy(), a[2].copy()
+
+        self.p0x, self.p0y, self.p0z = vec_cols(lambda p: p.p0)
+        self.eux, self.euy, self.euz = vec_cols(lambda p: p.eu)
+        self.evx, self.evy, self.evz = vec_cols(lambda p: p.ev)
+        self.nx, self.ny, self.nz = vec_cols(lambda p: p.normal)
+        self.d_plane = np.array([p._d for p in patches])
+        self.det_inv = np.array([p._det_inv for p in patches])
+        self.inv_uu = np.array([p._inv_uu for p in patches])
+        self.inv_vv = np.array([p._inv_vv for p in patches])
+        self.inv_uv = np.array([p._inv_uv for p in patches])
+
+        # Tangent bases about the front (geometric) and back (flipped)
+        # normals, via the exact scalar routine.
+        front = [orthonormal_basis(p.normal) for p in patches]
+        back = [orthonormal_basis(-p.normal) for p in patches]
+        self.ft1x, self.ft1y, self.ft1z = vec_cols(lambda p: front[p.patch_id][0])
+        self.ft2x, self.ft2y, self.ft2z = vec_cols(lambda p: front[p.patch_id][1])
+        self.bt1x, self.bt1y, self.bt1z = vec_cols(lambda p: back[p.patch_id][0])
+        self.bt2x, self.bt2y, self.bt2z = vec_cols(lambda p: back[p.patch_id][1])
+
+        self.diffuse = np.array(
+            [[p.material.diffuse.r, p.material.diffuse.g, p.material.diffuse.b]
+             for p in patches]
+        )
+        self.specular = np.array([p.material.specular for p in patches])
+        self.gloss = np.array(
+            [p.material.gloss if p.material.gloss is not None else np.nan
+             for p in patches]
+        )
+        self.has_gloss = ~np.isnan(self.gloss)
+        # The scalar lobe computes 1.0 / (exponent + 1.0) per call; both
+        # operations are exact IEEE so precomputing matches.
+        with np.errstate(invalid="ignore"):
+            self.inv_gloss_exp = 1.0 / (self.gloss + 1.0)
+
+        lums = scene.luminaires
+        self.lum_patch = np.array([l.patch.patch_id for l in lums], dtype=np.int64)
+        self.lum_cum = np.array([l.cumulative for l in lums])
+        self.total_power = scene.total_power
+        er = [l.patch.material.emission.r for l in lums]
+        eg = [l.patch.material.emission.g for l in lums]
+        eb = [l.patch.material.emission.b for l in lums]
+        self.lum_er = np.array(er)
+        self.lum_erg = np.array([r + g for r, g in zip(er, eg)])
+        self.lum_total = np.array([(r + g) + b for r, g, b in zip(er, eg, eb)])
+        self.lum_scale = np.array(
+            [1.0 if l.beam_half_angle is None else math.sin(l.beam_half_angle)
+             for l in lums]
+        )
+
+        # Octree leaves for candidate pruning: bounds plus member patches.
+        leaves = [
+            node for node in scene.octree.iter_nodes()
+            if node.is_leaf and node.patches
+        ]
+        self.leaf_lox = np.array([lf.bounds.lo.x for lf in leaves])
+        self.leaf_loy = np.array([lf.bounds.lo.y for lf in leaves])
+        self.leaf_loz = np.array([lf.bounds.lo.z for lf in leaves])
+        self.leaf_hix = np.array([lf.bounds.hi.x for lf in leaves])
+        self.leaf_hiy = np.array([lf.bounds.hi.y for lf in leaves])
+        self.leaf_hiz = np.array([lf.bounds.hi.z for lf in leaves])
+        self.leaf_patches = [
+            np.array(sorted(p.patch_id for p in lf.patches), dtype=np.int64)
+            for lf in leaves
+        ]
+
+    @property
+    def patch_count(self) -> int:
+        return self.p0x.size
+
+
+@dataclass
+class EventBatch:
+    """Tally events in canonical (photon, bounce) order.
+
+    ``seq`` is 0 for the emission tally and ``bounces + 1`` for each
+    reflection tally, so a lexicographic (``gidx``, ``seq``) sort replays
+    events exactly as the scalar per-photon loop tallies them.
+    """
+
+    gidx: np.ndarray
+    seq: np.ndarray
+    patch: np.ndarray
+    s: np.ndarray
+    t: np.ndarray
+    theta: np.ndarray
+    r2: np.ndarray
+    band: np.ndarray
+
+    @classmethod
+    def empty(cls) -> "EventBatch":
+        f = np.empty(0)
+        i = np.empty(0, dtype=np.int64)
+        return cls(i, i.copy(), i.copy(), f, f.copy(), f.copy(), f.copy(), i.copy())
+
+    @classmethod
+    def concat(cls, batches: list["EventBatch"]) -> "EventBatch":
+        if not batches:
+            return cls.empty()
+        return cls(*(
+            np.concatenate([getattr(b, name) for b in batches])
+            for name in ("gidx", "seq", "patch", "s", "t", "theta", "r2", "band")
+        ))
+
+    def sorted_canonical(self) -> "EventBatch":
+        """Rows ordered by (photon index, bounce sequence)."""
+        order = np.lexsort((self.seq, self.gidx))
+        return self.take(order)
+
+    def take(self, idx: np.ndarray) -> "EventBatch":
+        """Row subset/reorder by integer index array."""
+        return EventBatch(*(
+            getattr(self, name)[idx]
+            for name in ("gidx", "seq", "patch", "s", "t", "theta", "r2", "band")
+        ))
+
+    def __len__(self) -> int:
+        return self.gidx.size
+
+    def emission_band_counts(self) -> list[int]:
+        """Per-band emitted-photon counts (rows with seq == 0)."""
+        bands = self.band[self.seq == 0]
+        return [int((bands == b).sum()) for b in range(NUM_BANDS)]
+
+
+@dataclass
+class EmissionBatch:
+    """Batched :class:`~repro.core.generation.EmissionRecord` mirror.
+
+    ``states`` holds each photon's LCG state *after* its emission draws,
+    so callers (the geometry-distributed driver) can continue the photon's
+    private stream scalar-side bit-for-bit.
+    """
+
+    index: np.ndarray
+    states: np.ndarray
+    px: np.ndarray
+    py: np.ndarray
+    pz: np.ndarray
+    dx: np.ndarray
+    dy: np.ndarray
+    dz: np.ndarray
+    band: np.ndarray
+    patch: np.ndarray
+    s: np.ndarray
+    t: np.ndarray
+    theta: np.ndarray
+    r2: np.ndarray
+
+
+def apply_events(forest: BinForest, events: EventBatch) -> None:
+    """Replay *events* (already canonically ordered) into *forest*.
+
+    Uses :meth:`BinForest.tally`, so forest-wide counters advance exactly
+    as in the scalar drivers.
+    """
+    tally = forest.tally
+    for patch, s, t, theta, r2, band in zip(
+        events.patch.tolist(),
+        events.s.tolist(),
+        events.t.tolist(),
+        events.theta.tolist(),
+        events.r2.tolist(),
+        events.band.tolist(),
+    ):
+        tally(patch, BinCoords(s, t, theta, r2), band)
+
+
+def tally_block(forest: BinForest, block: EventBatch, photons: int) -> None:
+    """Sort one traced block canonically, replay it, book the emissions.
+
+    The single place the per-batch forest bookkeeping lives — shared by
+    :meth:`VectorEngine.run`, the simulator's batched driver, and tests —
+    so emission accounting cannot drift between them.
+    """
+    block = block.sorted_canonical()
+    apply_events(forest, block)
+    counts = block.emission_band_counts()
+    forest.photons_emitted += photons
+    for b in range(NUM_BANDS):
+        forest.band_emitted[b] += counts[b]
+
+
+class VectorEngine:
+    """Batched photon tracer, bit-exact with the scalar substream oracle.
+
+    Args:
+        scene: Scene to trace against.
+        fluorescence: Optional Stokes-shift spec (same semantics as the
+            scalar :func:`repro.core.fluorescence.fluorescent_reflect`).
+        batch_size: Photons per structure-of-arrays batch.
+        prune: Force octree-leaf candidate pruning on/off; ``None`` picks
+            dense below :data:`PRUNE_PATCH_THRESHOLD` patches, pruned
+            above.
+
+    Attributes:
+        patch_tests: Cumulative lane-x-patch plane tests performed (the
+            vector analogue of ``OctreeStats.intersection_tests``).
+        box_tests: Cumulative lane-x-leaf slab tests (pruned path only).
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        *,
+        fluorescence: Optional["FluorescenceSpec"] = None,
+        batch_size: int = 4096,
+        prune: Optional[bool] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.scene = scene
+        self.arrays = SceneArrays(scene)
+        self.fluorescence = fluorescence
+        self.batch_size = batch_size
+        if prune is None:
+            prune = self.arrays.patch_count >= PRUNE_PATCH_THRESHOLD
+        self.prune = prune
+        self.patch_tests = 0
+        self.box_tests = 0
+
+        if fluorescence is not None:
+            # Replicate the scalar accumulation exactly: row totals via
+            # sum(), thresholds via the running `acc += row[dst]` loop.
+            self._fluor_total = np.array(
+                [sum(fluorescence.conversion[b]) for b in range(NUM_BANDS)]
+            )
+            thresholds = np.empty((NUM_BANDS, NUM_BANDS))
+            for b in range(NUM_BANDS):
+                acc = 0.0
+                for dst in range(NUM_BANDS):
+                    acc += fluorescence.conversion[b][dst]
+                    thresholds[b, dst] = acc
+            self._fluor_thresholds = thresholds
+
+    # -- RNG ------------------------------------------------------------------
+
+    def _uniform(self, states: np.ndarray, idx) -> np.ndarray:
+        """Advance lanes *idx* one step; return their uniforms in [0, 1)."""
+        s = (_A64 * states[idx] + _C64) & _MASK64
+        states[idx] = s
+        return s.astype(np.float64) * _INV_MODULUS
+
+    def _sample_disc(
+        self, states: np.ndarray, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Figure 4.3 disc rejection for lanes *idx*: (x, y, x^2 + y^2)."""
+        m = idx.size
+        x = np.empty(m)
+        y = np.empty(m)
+        tmp = np.empty(m)
+        pending = np.arange(m)
+        while pending.size:
+            lanes = idx[pending]
+            u1 = self._uniform(states, lanes)
+            u2 = self._uniform(states, lanes)
+            cx = u1 * 2.0 - 1.0
+            cy = u2 * 2.0 - 1.0
+            ct = cx * cx + cy * cy
+            ok = ct <= 1.0
+            sel = pending[ok]
+            x[sel] = cx[ok]
+            y[sel] = cy[ok]
+            tmp[sel] = ct[ok]
+            pending = pending[~ok]
+        return x, y, tmp
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit_states(self, states: np.ndarray) -> dict:
+        """Batched Figure 4.2 emission; advances *states* in place."""
+        A = self.arrays
+        n = states.size
+        all_idx = np.arange(n)
+
+        u = self._uniform(states, all_idx)
+        target = u * A.total_power
+        li = np.searchsorted(A.lum_cum, target, side="right")
+        li = np.minimum(li, A.lum_cum.size - 1)
+        pidx = A.lum_patch[li]
+
+        s = self._uniform(states, all_idx)
+        t = self._uniform(states, all_idx)
+        px = (A.p0x[pidx] + s * A.eux[pidx]) + t * A.evx[pidx]
+        py = (A.p0y[pidx] + s * A.euy[pidx]) + t * A.evy[pidx]
+        pz = (A.p0z[pidx] + s * A.euz[pidx]) + t * A.evz[pidx]
+
+        pick = self._uniform(states, all_idx) * A.lum_total[li]
+        band = np.where(
+            pick < A.lum_er[li], 0, np.where(pick < A.lum_erg[li], 1, 2)
+        ).astype(np.int64)
+
+        lx, ly, _ = self._sample_disc(states, all_idx)
+        scale = A.lum_scale[li]
+        lx = lx * scale
+        ly = ly * scale
+        tmp = lx * lx + ly * ly
+        lz = np.sqrt(1.0 - tmp)
+
+        dx = (lx * A.ft1x[pidx] + ly * A.ft2x[pidx]) + lz * A.nx[pidx]
+        dy = (lx * A.ft1y[pidx] + ly * A.ft2y[pidx]) + lz * A.ny[pidx]
+        dz = (lx * A.ft1z[pidx] + ly * A.ft2z[pidx]) + lz * A.nz[pidx]
+
+        theta = _atan2_theta(ly, lx)
+        r2 = np.minimum(tmp, 1.0 - 1e-15)
+        return {
+            "patch": pidx, "s": s, "t": t, "theta": theta, "r2": r2,
+            "band": band, "px": px, "py": py, "pz": pz,
+            "dx": dx, "dy": dy, "dz": dz,
+        }
+
+    def emit_range(self, seed: int, start: int, count: int) -> EmissionBatch:
+        """Emit photons ``start .. start+count`` (no tracing).
+
+        Returns the packed emission records plus each photon's
+        post-emission RNG state — the batched form of the emission
+        enumeration loop in :mod:`repro.parallel.geomdist`.
+        """
+        states = substream_states(seed, start, count)
+        em = self._emit_states(states)
+        return EmissionBatch(
+            index=np.arange(start, start + count, dtype=np.int64),
+            states=states,
+            px=em["px"], py=em["py"], pz=em["pz"],
+            dx=em["dx"], dy=em["dy"], dz=em["dz"],
+            band=em["band"], patch=em["patch"],
+            s=em["s"], t=em["t"], theta=em["theta"], r2=em["r2"],
+        )
+
+    # -- intersection ---------------------------------------------------------
+
+    def _test_patches(
+        self, px, py, pz, dx, dy, dz, cols: np.ndarray,
+        best_t: np.ndarray, best_i: np.ndarray, rows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Test lanes (*rows* or all) against patch columns *cols*.
+
+        Updates the running closest hit under the canonical tie rule
+        (smallest t; equal t resolved to the largest patch index).
+        """
+        A = self.arrays
+        if rows is None:
+            lpx, lpy, lpz = px[:, None], py[:, None], pz[:, None]
+            ldx, ldy, ldz = dx[:, None], dy[:, None], dz[:, None]
+        else:
+            lpx, lpy, lpz = px[rows, None], py[rows, None], pz[rows, None]
+            ldx, ldy, ldz = dx[rows, None], dy[rows, None], dz[rows, None]
+        nx, ny, nz = A.nx[cols], A.ny[cols], A.nz[cols]
+        self.patch_tests += lpx.size * cols.size
+
+        denom = (nx * ldx + ny * ldy) + nz * ldz
+        ndoto = (nx * lpx + ny * lpy) + nz * lpz
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (A.d_plane[cols] - ndoto) / denom
+        ok = ((denom <= -1e-14) | (denom >= 1e-14)) & (t > EPSILON)
+
+        hx = lpx + t * ldx
+        hy = lpy + t * ldy
+        hz = lpz + t * ldz
+        wx = hx - A.p0x[cols]
+        wy = hy - A.p0y[cols]
+        wz = hz - A.p0z[cols]
+        wu = (wx * A.eux[cols] + wy * A.euy[cols]) + wz * A.euz[cols]
+        wv = (wx * A.evx[cols] + wy * A.evy[cols]) + wz * A.evz[cols]
+        sc = (wu * A.inv_vv[cols] - wv * A.inv_uv[cols]) * A.det_inv[cols]
+        tc = (wv * A.inv_uu[cols] - wu * A.inv_uv[cols]) * A.det_inv[cols]
+        tol = 1e-9
+        ok &= (sc >= -tol) & (sc <= 1.0 + tol) & (tc >= -tol) & (tc <= 1.0 + tol)
+
+        tm = np.where(ok, t, np.inf)
+        cmin = tm.min(axis=1)
+        has = cmin < np.inf
+        if not has.any():
+            return
+        # Last (largest-index) column among equal minima.
+        rel = (tm.shape[1] - 1) - np.argmin(tm[:, ::-1], axis=1)
+        cand_i = cols[rel]
+        tgt = rows if rows is not None else slice(None)
+        bt = best_t[tgt]
+        bi = best_i[tgt]
+        update = has & ((cmin < bt) | ((cmin == bt) & (cand_i > bi)))
+        bt[update] = cmin[update]
+        bi[update] = cand_i[update]
+        best_t[tgt] = bt
+        best_i[tgt] = bi
+
+    def _intersect(
+        self, px, py, pz, dx, dy, dz
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Closest hit per lane: (patch index or -1, distance)."""
+        n = px.size
+        best_t = np.full(n, np.inf)
+        best_i = np.full(n, -1, dtype=np.int64)
+        A = self.arrays
+        if not self.prune:
+            P = A.patch_count
+            chunk = 256
+            for c0 in range(0, P, chunk):
+                cols = np.arange(c0, min(c0 + chunk, P), dtype=np.int64)
+                self._test_patches(px, py, pz, dx, dy, dz, cols, best_t, best_i)
+            return best_i, best_t
+
+        # Octree-leaf candidate pruning: a slab test selects, per leaf,
+        # the lanes whose rays touch its cell; only those lanes test the
+        # leaf's member patches.  The tie rule makes the per-leaf visit
+        # order (and duplicate membership) irrelevant.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_x = 1.0 / dx
+            inv_y = 1.0 / dy
+            inv_z = 1.0 / dz
+        for li, cols in enumerate(A.leaf_patches):
+            tx1 = (A.leaf_lox[li] - px) * inv_x
+            tx2 = (A.leaf_hix[li] - px) * inv_x
+            ty1 = (A.leaf_loy[li] - py) * inv_y
+            ty2 = (A.leaf_hiy[li] - py) * inv_y
+            tz1 = (A.leaf_loz[li] - pz) * inv_z
+            tz2 = (A.leaf_hiz[li] - pz) * inv_z
+            tmin = np.maximum(
+                np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2)),
+                np.minimum(tz1, tz2),
+            )
+            tmax = np.minimum(
+                np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2)),
+                np.maximum(tz1, tz2),
+            )
+            # NaN (0/0 on a boundary-grazing axis-parallel ray) compares
+            # False, leaving the lane *included* — conservative.
+            miss = (tmax < tmin) | (tmax < 0.0)
+            rows = np.nonzero(~miss)[0]
+            self.box_tests += n
+            if rows.size == 0:
+                continue
+            self._test_patches(px, py, pz, dx, dy, dz, cols, best_t, best_i, rows)
+        return best_i, best_t
+
+    # -- reflection -----------------------------------------------------------
+
+    def _orthonormal_basis_rows(self, ax, ay, az):
+        """Vectorized :func:`repro.geometry.vec.orthonormal_basis`."""
+        use_y = np.abs(ax) > 0.9
+        hx = np.where(use_y, 0.0, 1.0)
+        hy = np.where(use_y, 1.0, 0.0)
+        # cross(helper, axis) with hz == 0
+        cx = hy * az - 0.0 * ay
+        cy = 0.0 * ax - hx * az
+        cz = hx * ay - hy * ax
+        norm = np.sqrt((cx * cx + cy * cy) + cz * cz)
+        inv = 1.0 / norm
+        t1x, t1y, t1z = cx * inv, cy * inv, cz * inv
+        # cross(axis, t1)
+        t2x = ay * t1z - az * t1y
+        t2y = az * t1x - ax * t1z
+        t2z = ax * t1y - ay * t1x
+        return t1x, t1y, t1z, t2x, t2y, t2z
+
+    def _local_frame(self, dx, dy, dz, pidx):
+        """Vectorized :func:`repro.core.reflection.local_frame_coords`."""
+        A = self.arrays
+        lx = (dx * A.ft1x[pidx] + dy * A.ft1y[pidx]) + dz * A.ft1z[pidx]
+        ly = (dx * A.ft2x[pidx] + dy * A.ft2y[pidx]) + dz * A.ft2z[pidx]
+        theta = _atan2_theta(ly, lx)
+        r2 = lx * lx + ly * ly
+        r2 = np.where(r2 >= 1.0, 1.0 - 1e-15, r2)
+        return theta, r2
+
+    # -- tracing --------------------------------------------------------------
+
+    def trace_range(
+        self, seed: int, start: int, count: int
+    ) -> tuple[EventBatch, "TraceStats"]:
+        """Trace photons ``start .. start+count``; canonical events + stats."""
+        from .simulator import TraceStats
+
+        stats = TraceStats()
+        blocks: list[EventBatch] = []
+        done = 0
+        while done < count:
+            todo = min(self.batch_size, count - done)
+            block = self._trace_batch(seed, start + done, todo, stats)
+            blocks.append(block)
+            done += todo
+        return EventBatch.concat(blocks), stats
+
+    def _trace_batch(
+        self, seed: int, start: int, count: int, stats: "TraceStats"
+    ) -> EventBatch:
+        A = self.arrays
+        stats.photons += count
+        states = substream_states(seed, start, count)
+        gidx = np.arange(start, start + count, dtype=np.int64)
+        em = self._emit_states(states)
+
+        ev = [EventBatch(
+            gidx.copy(), np.zeros(count, dtype=np.int64), em["patch"].astype(np.int64),
+            em["s"], em["t"], em["theta"], em["r2"], em["band"].copy(),
+        )]
+
+        px, py, pz = em["px"], em["py"], em["pz"]
+        dx, dy, dz = em["dx"], em["dy"], em["dz"]
+        band = em["band"]
+        bounces = np.zeros(count, dtype=np.int64)
+        from .simulator import MAX_BOUNCES
+
+        while gidx.size:
+            capped = bounces >= MAX_BOUNCES
+            if capped.any():
+                stats.bounce_limit_hits += int(capped.sum())
+                keep = ~capped
+                (gidx, states, px, py, pz, dx, dy, dz, band, bounces) = (
+                    a[keep] for a in (gidx, states, px, py, pz, dx, dy, dz, band, bounces)
+                )
+                if not gidx.size:
+                    break
+
+            pi, t_hit = self._intersect(px, py, pz, dx, dy, dz)
+            hit = pi >= 0
+            stats.escapes += int((~hit).sum())
+            if not hit.any():
+                break
+            (gidx, states, px, py, pz, dx, dy, dz, band, bounces, pi, t_hit) = (
+                a[hit] for a in (gidx, states, px, py, pz, dx, dy, dz, band, bounces, pi, t_hit)
+            )
+            n = gidx.size
+
+            # Hit attributes, recomputed exactly as Patch.intersect does.
+            hx = px + t_hit * dx
+            hy = py + t_hit * dy
+            hz = pz + t_hit * dz
+            wx = hx - A.p0x[pi]
+            wy = hy - A.p0y[pi]
+            wz = hz - A.p0z[pi]
+            wu = (wx * A.eux[pi] + wy * A.euy[pi]) + wz * A.euz[pi]
+            wv = (wx * A.evx[pi] + wy * A.evy[pi]) + wz * A.evz[pi]
+            hs = (wu * A.inv_vv[pi] - wv * A.inv_uv[pi]) * A.det_inv[pi]
+            ht = (wv * A.inv_uu[pi] - wu * A.inv_uv[pi]) * A.det_inv[pi]
+            hs = np.minimum(np.maximum(hs, 0.0), 1.0)
+            ht = np.minimum(np.maximum(ht, 0.0), 1.0)
+            denom = (A.nx[pi] * dx + A.ny[pi] * dy) + A.nz[pi] * dz
+            backface = denom > 0.0
+            snx = np.where(backface, -A.nx[pi], A.nx[pi])
+            sny = np.where(backface, -A.ny[pi], A.ny[pi])
+            snz = np.where(backface, -A.nz[pi], A.nz[pi])
+
+            # Roulette.
+            u = self._uniform(states, np.arange(n))
+            pd = A.diffuse[pi, band]
+            ps = A.specular[pi]
+            is_diff = u < pd
+            is_spec = (~is_diff) & (u < pd + ps)
+
+            out_dx = np.empty(n)
+            out_dy = np.empty(n)
+            out_dz = np.empty(n)
+            reflected = np.zeros(n, dtype=bool)
+            new_band = band.copy()
+
+            # Diffuse lobe: disc sample about the shading normal.
+            didx = np.nonzero(is_diff)[0]
+            if didx.size:
+                self._diffuse_emit(states, didx, pi, backface, snx, sny, snz,
+                                   out_dx, out_dy, out_dz)
+                reflected[didx] = True
+
+            # Specular: ideal mirror or Phong gloss about the mirror axis.
+            sidx = np.nonzero(is_spec)[0]
+            if sidx.size:
+                k = 2.0 * ((dx[sidx] * snx[sidx] + dy[sidx] * sny[sidx])
+                           + dz[sidx] * snz[sidx])
+                mx = dx[sidx] - k * snx[sidx]
+                my = dy[sidx] - k * sny[sidx]
+                mz = dz[sidx] - k * snz[sidx]
+                glossy = A.has_gloss[pi[sidx]]
+                mirror_rows = sidx[~glossy]
+                out_dx[mirror_rows] = mx[~glossy]
+                out_dy[mirror_rows] = my[~glossy]
+                out_dz[mirror_rows] = mz[~glossy]
+                reflected[mirror_rows] = True
+                grows = sidx[glossy]
+                if grows.size:
+                    self._gloss_lobe(states, grows, pi, mx[glossy], my[glossy],
+                                     mz[glossy], snx, sny, snz,
+                                     out_dx, out_dy, out_dz, reflected)
+
+            # Fluorescence second chance for every absorbed lane.
+            absorbed = ~reflected
+            if self.fluorescence is not None and absorbed.any():
+                self._fluorescent_rescue(states, np.nonzero(absorbed)[0], band,
+                                         new_band, pi, backface, snx, sny, snz,
+                                         out_dx, out_dy, out_dz, reflected)
+
+            n_ref = int(reflected.sum())
+            stats.reflections += n_ref
+            stats.absorptions += n - n_ref
+            if not n_ref:
+                break
+
+            ridx = np.nonzero(reflected)[0]
+            theta, r2 = self._local_frame(out_dx[ridx], out_dy[ridx],
+                                          out_dz[ridx], pi[ridx])
+            ev.append(EventBatch(
+                gidx[ridx], bounces[ridx] + 1, pi[ridx],
+                hs[ridx], ht[ridx], theta, r2, new_band[ridx],
+            ))
+
+            gidx = gidx[ridx]
+            states = states[ridx]
+            px, py, pz = hx[ridx], hy[ridx], hz[ridx]
+            dx, dy, dz = out_dx[ridx], out_dy[ridx], out_dz[ridx]
+            band = new_band[ridx]
+            bounces = bounces[ridx] + 1
+
+        return EventBatch.concat(ev)
+
+    def _diffuse_emit(self, states, rows, pi, backface, snx, sny, snz,
+                      out_dx, out_dy, out_dz) -> None:
+        """Cosine-weighted re-emission about the shading normal."""
+        A = self.arrays
+        lx, ly, tmp = self._sample_disc(states, rows)
+        lz = np.sqrt(1.0 - tmp)
+        p = pi[rows]
+        bf = backface[rows]
+        t1x = np.where(bf, A.bt1x[p], A.ft1x[p])
+        t1y = np.where(bf, A.bt1y[p], A.ft1y[p])
+        t1z = np.where(bf, A.bt1z[p], A.ft1z[p])
+        t2x = np.where(bf, A.bt2x[p], A.ft2x[p])
+        t2y = np.where(bf, A.bt2y[p], A.ft2y[p])
+        t2z = np.where(bf, A.bt2z[p], A.ft2z[p])
+        out_dx[rows] = (lx * t1x + ly * t2x) + lz * snx[rows]
+        out_dy[rows] = (lx * t1y + ly * t2y) + lz * sny[rows]
+        out_dz[rows] = (lx * t1z + ly * t2z) + lz * snz[rows]
+
+    def _gloss_lobe(self, states, rows, pi, ax, ay, az, snx, sny, snz,
+                    out_dx, out_dy, out_dz, reflected) -> None:
+        """Phong lobe about the mirror axis with the scalar retry cap."""
+        A = self.arrays
+        t1x, t1y, t1z, t2x, t2y, t2z = self._orthonormal_basis_rows(ax, ay, az)
+        inv_e = A.inv_gloss_exp[pi[rows]]
+        active = np.arange(rows.size)
+        for _ in range(_GLOSS_RETRIES):
+            if not active.size:
+                break
+            lanes = rows[active]
+            u1 = self._uniform(states, lanes)
+            u2 = self._uniform(states, lanes)
+            cos_a = _pow_scalar(u1, inv_e[active])
+            sin_a = np.sqrt(np.maximum(0.0, 1.0 - cos_a * cos_a))
+            phi = 2.0 * math.pi * u2
+            sphi, cphi = _sincos_scalar(phi)
+            aa = active
+            cx = (sin_a * cphi * t1x[aa] + sin_a * sphi * t2x[aa]) + cos_a * ax[aa]
+            cy = (sin_a * cphi * t1y[aa] + sin_a * sphi * t2y[aa]) + cos_a * ay[aa]
+            cz = (sin_a * cphi * t1z[aa] + sin_a * sphi * t2z[aa]) + cos_a * az[aa]
+            good = ((cx * snx[lanes] + cy * sny[lanes]) + cz * snz[lanes]) > 1e-12
+            ok_rows = lanes[good]
+            out_dx[ok_rows] = cx[good]
+            out_dy[ok_rows] = cy[good]
+            out_dz[ok_rows] = cz[good]
+            reflected[ok_rows] = True
+            active = active[~good]
+        # Lanes still active after the retries stay absorbed, exactly as
+        # the scalar lobe returns None.
+
+    def _fluorescent_rescue(self, states, rows, band, new_band, pi, backface,
+                            snx, sny, snz, out_dx, out_dy, out_dz,
+                            reflected) -> None:
+        """The Stokes-shift second chance of ``fluorescent_reflect``."""
+        totals = self._fluor_total[band[rows]]
+        eligible = rows[totals > 0.0]
+        if not eligible.size:
+            return
+        u = self._uniform(states, eligible)
+        th = self._fluor_thresholds[band[eligible]]
+        target = np.full(eligible.size, -1, dtype=np.int64)
+        for dst in range(NUM_BANDS - 1, -1, -1):
+            target = np.where(u < th[:, dst], dst, target)
+        converted = target >= 0
+        crows = eligible[converted]
+        if not crows.size:
+            return
+        new_band[crows] = target[converted]
+        self._diffuse_emit(states, crows, pi, backface, snx, sny, snz,
+                           out_dx, out_dy, out_dz)
+        reflected[crows] = True
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, config) -> "SimulationResult":
+        """Run a full photon budget; returns the same result type as the
+        scalar :class:`~repro.core.simulator.PhotonSimulator`.
+        """
+        from .simulator import SimulationResult, TraceStats
+
+        forest = BinForest(config.policy)
+        stats = TraceStats()
+        done = 0
+        while done < config.n_photons:
+            todo = min(self.batch_size, config.n_photons - done)
+            block = self._trace_batch(config.seed, done, todo, stats)
+            tally_block(forest, block, todo)
+            done += todo
+        return SimulationResult(forest, stats, config, self.scene.name)

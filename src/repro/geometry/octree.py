@@ -154,7 +154,17 @@ class Octree:
             for patch in node.patches:
                 stats.intersection_tests += 1
                 hit = patch.intersect(ray, limit)
-                if hit is not None:
+                if hit is not None and (
+                    best is None
+                    or hit.distance < best.distance
+                    or (
+                        hit.distance == best.distance
+                        and hit.patch.patch_id > best.patch.patch_id
+                    )
+                ):
+                    # Ties resolve to the highest patch id explicitly
+                    # rather than by list position, so the canonical rule
+                    # holds for any patch ordering.
                     best = hit
                     limit = hit.distance
             return best
@@ -173,7 +183,18 @@ class Octree:
             if best is not None and t_enter > best.distance:
                 break  # every remaining cell is entirely behind the hit
             hit = self._intersect_node(child, ray, limit)
-            if hit is not None and (best is None or hit.distance < best.distance):
+            # Exact-distance ties (coplanar overlapping patches, common in
+            # the lab scene) resolve to the highest patch id, matching the
+            # linear reference scan so every intersector — linear, octree,
+            # and the batched engine — agrees hit-for-hit.
+            if hit is not None and (
+                best is None
+                or hit.distance < best.distance
+                or (
+                    hit.distance == best.distance
+                    and hit.patch.patch_id > best.patch.patch_id
+                )
+            ):
                 best = hit
                 limit = hit.distance
         return best

@@ -58,6 +58,12 @@ class Vec3:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Vec3 is immutable")
 
+    def __reduce__(self):
+        # The immutability guard above breaks pickle's default slot-state
+        # restore; reconstruct through __init__ instead (needed to ship
+        # scenes to multiprocessing workers).
+        return (Vec3, (self.x, self.y, self.z))
+
     # -- construction helpers -------------------------------------------------
 
     @classmethod

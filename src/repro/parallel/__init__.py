@@ -30,6 +30,12 @@ from .loadbalance import (
     pilot_forest,
 )
 from .mpi import ANY_SOURCE, CommStats, SimComm, run_parallel
+from .procpool import (
+    build_forest_parallel,
+    partition_patches,
+    run_procpool,
+    trace_events_parallel,
+)
 from .shared import RWLock, SharedConfig, SharedForest, SharedResult, run_shared
 
 __all__ = [
@@ -55,14 +61,18 @@ __all__ = [
     "UnitInfo",
     "assign_units",
     "build_balance",
+    "build_forest_parallel",
     "distributed_worker",
     "load_imbalance",
     "merge_rank_forests",
+    "partition_patches",
     "pilot_counts",
     "pilot_forest",
     "rank_share",
     "run_distributed",
     "run_parallel",
+    "run_procpool",
     "run_shared",
     "serial_replay",
+    "trace_events_parallel",
 ]

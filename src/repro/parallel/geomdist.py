@@ -121,6 +121,27 @@ class RegionGrid:
         """Owning rank of the region containing *p*."""
         return self.owner_of_region(self.region_of_point(p), n_ranks)
 
+    def owners_of_points(self, px, py, pz, n_ranks: int):
+        """Vectorized :meth:`owner_of_point` over coordinate arrays.
+
+        Lives next to the scalar form so the clamp/index arithmetic has
+        exactly one home.  ``int()`` truncates toward zero, which
+        :func:`numpy.trunc` mirrors exactly, so the batched index matches
+        the scalar one for every point.
+        """
+        import numpy as np
+
+        d = self.divisions
+
+        def clamp_idx(v, lo, cell):
+            i = np.trunc((v - lo) / cell).astype(np.int64)
+            return np.minimum(np.maximum(i, 0), d - 1)
+
+        ix = clamp_idx(px, self.lo.x, self.cell.x)
+        iy = clamp_idx(py, self.lo.y, self.cell.y)
+        iz = clamp_idx(pz, self.lo.z, self.cell.z)
+        return ((iz * d + iy) * d + ix) % n_ranks
+
 
 @dataclass(frozen=True)
 class GeomDistConfig:
@@ -154,7 +175,12 @@ WirePhoton = tuple[float, float, float, float, float, float, int, int, int]
 
 
 def _photon_stream(seed: int, index: int) -> Lcg48:
-    """The private RNG stream of photon *index*."""
+    """The private RNG stream of photon *index*.
+
+    Same convention as :func:`repro.core.vectorized.photon_substream`
+    (a ``(index + 1) << 20`` jump), which is what lets the emission
+    enumeration below run through the batched engine bit-for-bit.
+    """
     return Lcg48(seed).fork_jump((index + 1) << 20)
 
 
@@ -295,24 +321,37 @@ def _geomdist_worker(
 
     # Every rank enumerates all photons but only emits those whose
     # emission point lands in its regions (deterministic: the emission
-    # draw comes from the photon's private stream).
+    # draw comes from the photon's private stream).  The enumeration is
+    # the redundant all-photon part of the algorithm, so it runs through
+    # the batched vector emitter — bit-exact with emit_photon on each
+    # photon's private stream, including the post-emission RNG state the
+    # wire format carries.
+    from ..core.vectorized import VectorEngine
+
+    emitter = VectorEngine(scene)
     inbox: list[WirePhoton] = []
     pending_events: list = []
-    for i in range(config.n_photons):
-        rng = _photon_stream(config.seed, i)
-        record = emit_photon(scene, rng)
-        owner = grid.owner_of_point(record.photon.position, size)
-        if owner != rank:
-            continue
-        emitted += 1
-        pending_events.append(
-            (
-                record.patch_id,
-                BinCoords(record.s, record.t, record.theta, record.r_squared),
-                record.photon.band,
+    emit_batch_size = 8192
+    for batch_start in range(0, config.n_photons, emit_batch_size):
+        batch_count = min(emit_batch_size, config.n_photons - batch_start)
+        em = emitter.emit_range(config.seed, batch_start, batch_count)
+        owners = grid.owners_of_points(em.px, em.py, em.pz, size)
+        for j in (owners == rank).nonzero()[0].tolist():
+            emitted += 1
+            pending_events.append(
+                (
+                    int(em.patch[j]),
+                    BinCoords(em.s[j], em.t[j], em.theta[j], em.r2[j]),
+                    int(em.band[j]),
+                )
             )
-        )
-        inbox.append(_pack(record.photon, rng))
+            inbox.append(
+                (
+                    em.px[j], em.py[j], em.pz[j],
+                    em.dx[j], em.dy[j], em.dz[j],
+                    int(em.band[j]), 0, int(em.states[j]),
+                )
+            )
     apply_events(pending_events)
 
     # ---- Migration rounds: trace local, exchange, repeat until quiet.

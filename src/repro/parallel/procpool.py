@@ -1,0 +1,170 @@
+"""Process-parallel vector backend: true multi-core photon tracing.
+
+The shared-memory variant (:mod:`repro.parallel.shared`) runs real
+threads, but the GIL serialises Python bytecode, so it demonstrates the
+locking protocol rather than speed.  This module is the repo's first
+genuinely multi-core path: it shards the photon index range across a
+``multiprocessing`` pool of :class:`~repro.core.vectorized.VectorEngine`
+workers and reassembles the answer in two phases:
+
+1. **Trace phase** — each worker traces a contiguous shard of photon
+   indices (per-photon counter-based substreams make shards independent)
+   and returns its tally events as packed NumPy arrays.
+
+2. **Build phase** — patch ids are partitioned round-robin into
+   ownership sections; each worker replays *its* patches' events (in
+   canonical photon order, so every tree sees exactly the serial tally
+   sequence) into a private :class:`BinForest`.  The parent unions the
+   disjoint sections with the existing distributed-merge machinery
+   (:func:`repro.parallel.distributed.merge_rank_forests`).
+
+Because tallies replay in canonical order and ownership partitions the
+tree keys, the merged forest is **identical node-for-node** to a
+single-process vector run (and to the scalar substream oracle) for any
+worker count, batch size, or merge order — the property the determinism
+suite locks down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.bintree import BinForest, SplitPolicy
+from ..core.photon import NUM_BANDS
+from ..core.simulator import SimulationConfig, SimulationResult, TraceStats
+from ..core.vectorized import EventBatch, VectorEngine, apply_events
+from ..geometry.scene import Scene
+from .distributed import merge_rank_forests, rank_share
+
+__all__ = [
+    "run_procpool",
+    "trace_events_parallel",
+    "build_forest_parallel",
+    "partition_patches",
+]
+
+
+def _trace_shard(
+    scene: Scene,
+    fluorescence,
+    batch_size: int,
+    seed: int,
+    start: int,
+    count: int,
+) -> tuple[tuple, TraceStats]:
+    """Pool target: trace photons ``start .. start+count`` of the budget."""
+    engine = VectorEngine(scene, fluorescence=fluorescence, batch_size=batch_size)
+    events, stats = engine.trace_range(seed, start, count)
+    events = events.sorted_canonical()
+    return (
+        (events.gidx, events.seq, events.patch, events.s, events.t,
+         events.theta, events.r2, events.band),
+        stats,
+    )
+
+
+@dataclass
+class _Section:
+    """One worker's owned slice of the forest, shaped for the merger."""
+
+    forest: BinForest
+
+
+def _build_section(policy: SplitPolicy, arrays: tuple) -> _Section:
+    """Pool target: replay one ownership section's events into a forest."""
+    forest = BinForest(policy)
+    apply_events(forest, EventBatch(*arrays))
+    return _Section(forest)
+
+
+def partition_patches(patch_ids: np.ndarray, workers: int) -> np.ndarray:
+    """Round-robin patch -> worker ownership (stable for any worker count)."""
+    return patch_ids % workers
+
+
+def trace_events_parallel(
+    pool, scene: Scene, config: SimulationConfig
+) -> tuple[EventBatch, TraceStats]:
+    """Phase 1: fan the photon range out over *pool*, gather sorted events."""
+    workers = config.workers
+    starts = []
+    offset = 0
+    for w in range(workers):
+        share = rank_share(config.n_photons, w, workers)
+        starts.append((offset, share))
+        offset += share
+    jobs = [
+        (scene, config.fluorescence, config.batch_size, config.seed, start, count)
+        for start, count in starts
+        if count > 0
+    ]
+    results = pool.starmap(_trace_shard, jobs)
+    stats = TraceStats()
+    blocks = []
+    for arrays, shard_stats in results:
+        stats.merge(shard_stats)
+        blocks.append(EventBatch(*arrays))
+    # Each shard arrives canonically sorted, shards cover contiguous
+    # ascending index ranges, and starmap preserves job order — so the
+    # concatenation is already globally canonical; re-sorting here would
+    # be serial parent-side overhead on every run.
+    return EventBatch.concat(blocks), stats
+
+
+def build_forest_parallel(
+    pool, events: EventBatch, policy: SplitPolicy, workers: int
+) -> BinForest:
+    """Phase 2: ownership-sharded forest build + distributed-style merge."""
+    owner = partition_patches(events.patch, workers)
+    jobs = []
+    for w in range(workers):
+        rows = np.nonzero(owner == w)[0]
+        if rows.size == 0:
+            continue
+        sub = events.take(rows)
+        jobs.append((policy, (sub.gidx, sub.seq, sub.patch, sub.s, sub.t,
+                              sub.theta, sub.r2, sub.band)))
+    sections: Sequence[_Section] = pool.starmap(_build_section, jobs) if jobs else []
+    merged = merge_rank_forests(sections, policy)
+    # Present trees in first-tally order so the merged forest serialises
+    # byte-for-byte like a single-process vector run.
+    unique, first_index = np.unique(events.patch, return_index=True)
+    order = unique[np.argsort(first_index)]
+    merged.trees = {int(pid): merged.trees[int(pid)] for pid in order}
+    return merged
+
+
+def run_procpool(
+    scene: Scene, config: SimulationConfig, pool=None
+) -> SimulationResult:
+    """Run *config* on a process pool; result matches the serial engines.
+
+    Args:
+        scene: Scene to trace (shipped to workers by pickle).
+        config: Simulation parameters; ``config.workers`` sizes the pool.
+        pool: Optional pre-built pool-like object exposing ``starmap``
+            (used by tests to inject an in-process executor).
+    """
+    if config.n_photons == 0:
+        return SimulationResult(
+            BinForest(config.policy), TraceStats(), config, scene.name
+        )
+    if pool is not None:
+        events, stats = trace_events_parallel(pool, scene, config)
+        forest = build_forest_parallel(pool, events, config.policy, config.workers)
+    else:
+        import multiprocessing as mp
+
+        with mp.get_context().Pool(processes=config.workers) as real_pool:
+            events, stats = trace_events_parallel(real_pool, scene, config)
+            forest = build_forest_parallel(
+                real_pool, events, config.policy, config.workers
+            )
+    forest.photons_emitted = config.n_photons
+    counts = events.emission_band_counts()
+    for b in range(NUM_BANDS):
+        forest.band_emitted[b] = counts[b]
+    return SimulationResult(forest, stats, config, scene.name)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.bintree import BinForest, SplitPolicy
-from ..core.simulator import TraceStats, trace_photon
+from ..core.simulator import ENGINES, TraceStats, trace_photon
 from ..geometry.scene import Scene
 from ..rng import Lcg48
 from .distributed import rank_share
@@ -139,15 +139,35 @@ class SharedForest:
 
 @dataclass(frozen=True)
 class SharedConfig:
-    """Parameters of a shared-memory run."""
+    """Parameters of a shared-memory run.
+
+    Attributes:
+        n_photons: Total photon budget across all workers.
+        seed: Base RNG seed.
+        policy: Bin split policy.
+        engine: ``"scalar"`` traces per photon on leapfrog rank
+            substreams (the historical Figure 5.2 behaviour);
+            ``"vector"`` gives each worker a contiguous photon-index
+            share traced in NumPy batches on per-photon substreams —
+            per-patch totals are then identical for every worker count,
+            and a 1-worker run matches the serial vector engine
+            node-for-node.
+        batch_size: Photons per vector batch (vector engine only).
+    """
 
     n_photons: int
     seed: int = 0x1234ABCD330E
     policy: SplitPolicy = field(default_factory=SplitPolicy)
+    engine: str = "scalar"
+    batch_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
             raise ValueError("n_photons must be non-negative")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; pick from {ENGINES}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
 
 
 @dataclass
@@ -182,21 +202,69 @@ def _worker(
     emitted_out[worker] = my_share
 
 
+def _worker_vector(
+    shared: SharedForest,
+    scene: Scene,
+    config: SharedConfig,
+    worker: int,
+    n_workers: int,
+    stats_out: list[TraceStats],
+    emitted_out: list[int],
+) -> None:
+    """Vector-engine worker body: batch-trace a contiguous index share.
+
+    Events replay through the locked forest in per-photon order (emission
+    first), so the tally protocol is exactly Figure 5.2's — only the
+    tracing between lock acquisitions is batched.
+    """
+    from ..core.binning import BinCoords
+    from ..core.vectorized import VectorEngine
+
+    start = sum(rank_share(config.n_photons, w, n_workers) for w in range(worker))
+    my_share = rank_share(config.n_photons, worker, n_workers)
+    engine = VectorEngine(scene, batch_size=config.batch_size)
+    stats = TraceStats()
+    # Trace and replay one batch at a time so in-flight event storage is
+    # bounded by batch_size, not the whole share; contiguous batches in
+    # index order preserve the canonical global tally order.
+    for offset in range(0, my_share, config.batch_size):
+        todo = min(config.batch_size, my_share - offset)
+        events, batch_stats = engine.trace_range(
+            config.seed, start + offset, todo
+        )
+        stats.merge(batch_stats)
+        events = events.sorted_canonical()
+        for seq, patch, s, t, theta, r2, band in zip(
+            events.seq.tolist(), events.patch.tolist(), events.s.tolist(),
+            events.t.tolist(), events.theta.tolist(), events.r2.tolist(),
+            events.band.tolist(),
+        ):
+            if seq == 0:
+                shared.record_emission(band)
+            shared.tally(patch, BinCoords(s, t, theta, r2), band)
+    stats_out[worker] = stats
+    emitted_out[worker] = my_share
+
+
 def run_shared(scene: Scene, config: SharedConfig, n_workers: int) -> SharedResult:
     """Run the forall loop of Figure 5.2 on *n_workers* threads.
 
     With ``n_workers == 1`` and the same seed this produces a forest
     identical to :class:`repro.core.simulator.PhotonSimulator` — the
-    equivalence the integration tests pin down.
+    equivalence the integration tests pin down.  Under
+    ``config.engine == "vector"`` the same holds against the vector
+    engine (and per-patch totals are worker-count invariant, since the
+    tally multiset is fixed by the per-photon substreams).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     shared = SharedForest(config.policy)
     stats_out: list[TraceStats] = [TraceStats() for _ in range(n_workers)]
     emitted_out = [0] * n_workers
+    body = _worker_vector if config.engine == "vector" else _worker
     threads = [
         threading.Thread(
-            target=_worker,
+            target=body,
             args=(shared, scene, config, w, n_workers, stats_out, emitted_out),
             daemon=True,
         )

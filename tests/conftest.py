@@ -1,67 +1,13 @@
-"""Shared fixtures: scenes are expensive to build, so they are session-scoped.
+"""Test-suite conftest.
 
-Tests must never mutate a session-scoped scene (patch ids are assigned at
-construction and shared).  Forests/simulations built *from* the scenes
-are cheap and constructed per-test.
+All shared fixtures live in the repo-root ``conftest.py`` so the
+benchmark suite can reuse them (no copy-paste fixtures); this module
+only re-exports the scene builder for legacy
+``from tests.conftest import build_mini_scene`` imports.
 """
 
 from __future__ import annotations
 
-import pytest
+from tests.scenehelpers import build_mini_scene
 
-from repro.core import SimulationConfig, SplitPolicy
-from repro.geometry import Scene, Vec3, axis_rect, box, matte
-from repro.geometry.material import emitter
-from repro.scenes import computer_lab, cornell_box, harpsichord_room
-
-
-def build_mini_scene() -> Scene:
-    """A tiny closed white box with one ceiling lamp (8 patches).
-
-    Fast enough for hypothesis-heavy tests; closed so photons never
-    escape (helps exact energy accounting).
-    """
-    white = matte("white", 0.6, 0.6, 0.6)
-    lamp = emitter("lamp", 5.0, 5.0, 5.0)
-    patches = [
-        axis_rect("y", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="floor", flip=True),
-        axis_rect("y", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="ceiling"),
-        axis_rect("x", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="w0"),
-        axis_rect("x", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="w1", flip=True),
-        axis_rect("z", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="w2"),
-        axis_rect("z", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="w3", flip=True),
-        axis_rect("y", 0.98, (0.4, 0.6), (0.4, 0.6), lamp, name="lamp"),
-        axis_rect("y", 0.4, (0.3, 0.7), (0.3, 0.7), white, name="shelf", flip=True),
-    ]
-    return Scene(patches, name="mini-box")
-
-
-@pytest.fixture(scope="session")
-def mini_scene() -> Scene:
-    return build_mini_scene()
-
-
-@pytest.fixture(scope="session")
-def cornell() -> Scene:
-    return cornell_box()
-
-
-@pytest.fixture(scope="session")
-def harpsichord() -> Scene:
-    return harpsichord_room()
-
-
-@pytest.fixture(scope="session")
-def lab_small() -> Scene:
-    """A reduced Computer Lab (4 workstations) for affordable tests."""
-    return computer_lab(workstations=4)
-
-
-@pytest.fixture()
-def fast_config() -> SimulationConfig:
-    """A small, deterministic simulation configuration."""
-    return SimulationConfig(
-        n_photons=400,
-        seed=0xC0FFEE,
-        policy=SplitPolicy(min_count=16, max_depth=12),
-    )
+__all__ = ["build_mini_scene"]

@@ -1,0 +1,113 @@
+"""Golden answerfile regression: the physics may not drift silently.
+
+Small fixed simulations are pinned byte-for-byte against committed
+answerfiles (see ``tests/data/regenerate.py``).  The substream goldens
+are *engine-independent*: the scalar oracle, the vector engine, and the
+process-pool backend must all serialise to exactly the committed bytes.
+A legacy single-stream golden pins the historical scalar behaviour too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import PhotonSimulator, save_answer
+from repro.parallel.procpool import run_procpool
+from tests.data.regenerate import DATA_DIR, GOLDEN_PHOTONS, GOLDEN_SEED, golden_config
+
+import io
+
+SCENE_FIXTURES = {
+    "cornell-box": "cornell",
+    "computer-lab": None,  # full scene, via the `scenes` session fixture
+    "harpsichord-room": "harpsichord",
+}
+
+
+def golden_bytes(name: str) -> bytes:
+    path = DATA_DIR / name
+    assert path.exists(), f"golden {name} missing — run tests/data/regenerate.py"
+    return path.read_bytes()
+
+
+def scene_for(request, scene_name: str):
+    fixture = SCENE_FIXTURES[scene_name]
+    if fixture is not None:
+        return request.getfixturevalue(fixture)
+    return request.getfixturevalue("scenes")[scene_name]
+
+
+def simulate_bytes(scene, config, tmp_path: Path) -> bytes:
+    result = PhotonSimulator(scene, config).run()
+    out = tmp_path / "answer.json"
+    save_answer(result.forest, out)
+    return out.read_bytes()
+
+
+class TestSubstreamGoldens:
+    """Both engines (and the pool) reproduce the committed bytes."""
+
+    @pytest.mark.parametrize("scene_name", sorted(SCENE_FIXTURES))
+    def test_scalar_engine(self, request, tmp_path, scene_name):
+        scene = scene_for(request, scene_name)
+        got = simulate_bytes(scene, golden_config("scalar", "substream"), tmp_path)
+        assert got == golden_bytes(f"{scene_name}.substream.answer.json")
+
+    @pytest.mark.parametrize("scene_name", sorted(SCENE_FIXTURES))
+    def test_vector_engine(self, request, tmp_path, scene_name):
+        scene = scene_for(request, scene_name)
+        got = simulate_bytes(scene, golden_config("vector", "substream"), tmp_path)
+        assert got == golden_bytes(f"{scene_name}.substream.answer.json")
+
+    def test_procpool(self, request, tmp_path):
+        """The multi-process backend hits the same bytes."""
+        from tests.parallel.test_procpool import _InlinePool
+
+        scene = scene_for(request, "cornell-box")
+        config = golden_config("vector", "substream")
+        config = type(config)(
+            n_photons=config.n_photons, seed=config.seed, engine="vector",
+            workers=3, batch_size=64,
+        )
+        result = run_procpool(scene, config, pool=_InlinePool())
+        out = tmp_path / "answer.json"
+        save_answer(result.forest, out)
+        assert out.read_bytes() == golden_bytes("cornell-box.substream.answer.json")
+
+
+class TestLegacyStreamGolden:
+    def test_scalar_single_stream(self, request, tmp_path):
+        scene = scene_for(request, "cornell-box")
+        got = simulate_bytes(scene, golden_config("scalar", "stream"), tmp_path)
+        assert got == golden_bytes("cornell-box.stream.answer.json")
+
+
+class TestCliGolden:
+    """`repro simulate` end-to-end lands on the same bytes."""
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--engine", "scalar", "--rng", "substream"],
+            ["--engine", "vector"],
+            ["--engine", "vector", "--workers", "2", "--batch-size", "128"],
+        ],
+        ids=["scalar-substream", "vector", "vector-procpool"],
+    )
+    def test_simulate_matches_golden(self, tmp_path, extra):
+        out = tmp_path / "cli.json"
+        rc = cli_main(
+            [
+                "simulate", "cornell-box",
+                "--photons", str(GOLDEN_PHOTONS),
+                "--seed", hex(GOLDEN_SEED),
+                "--out", str(out),
+                *extra,
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        assert out.read_bytes() == golden_bytes("cornell-box.substream.answer.json")

@@ -1,0 +1,190 @@
+"""Scalar <-> vector engine parity: the vector fast path is locked to the
+scalar ``trace_photon`` oracle tally-for-tally.
+
+Both engines run the same photons on the same per-photon counter-based
+substreams, so the bin forests must agree **exactly** — every tree, every
+node, every band count — and so must every ``TraceStats`` counter.  Any
+drift in the vectorized physics (draw order, expression order, tie
+rules) fails these tests deterministically, not statistically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FluorescenceSpec,
+    PhotonSimulator,
+    SimulationConfig,
+    SplitPolicy,
+    forest_to_dict,
+    photon_substream,
+    substream_states,
+    trace_photon,
+)
+from repro.core.vectorized import VectorEngine
+from tests.scenehelpers import build_mini_scene
+
+FLUOR = FluorescenceSpec.simple(
+    blue_to_green=0.4, green_to_red=0.35, blue_to_red=0.1
+)
+
+
+def run_engine(scene, engine: str, **kwargs) -> tuple[dict, object]:
+    """Simulate with *engine* under substream RNG; (forest dict, stats)."""
+    config = SimulationConfig(engine=engine, rng_mode="substream", **kwargs)
+    result = PhotonSimulator(scene, config).run()
+    result.forest.check_invariants()
+    return forest_to_dict(result.forest), result.stats
+
+
+def assert_parity(scene, **kwargs) -> None:
+    """The vector engine must reproduce the scalar oracle exactly."""
+    scalar_forest, scalar_stats = run_engine(scene, "scalar", **kwargs)
+    vector_forest, vector_stats = run_engine(scene, "vector", **kwargs)
+    assert vector_stats == scalar_stats
+    assert vector_forest == scalar_forest
+
+
+SCENE_FIXTURES = ("cornell", "lab_small", "harpsichord")
+
+
+class TestSceneParity:
+    """Tally-for-tally parity on all three dissertation scenes."""
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    @pytest.mark.parametrize("seed", [0x1234ABCD330E, 0xC0FFEE])
+    def test_default_policy(self, request, scene_fixture, seed):
+        scene = request.getfixturevalue(scene_fixture)
+        assert_parity(scene, n_photons=400, seed=seed)
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    @pytest.mark.parametrize("sigma", [2.0, 4.0])
+    def test_sigma_policies(self, request, scene_fixture, sigma):
+        scene = request.getfixturevalue(scene_fixture)
+        assert_parity(
+            scene,
+            n_photons=300,
+            seed=0xBEEF,
+            policy=SplitPolicy(threshold=sigma, min_count=8),
+        )
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_fluorescence(self, request, scene_fixture):
+        scene = request.getfixturevalue(scene_fixture)
+        assert_parity(scene, n_photons=300, seed=7, fluorescence=FLUOR)
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_batch_size_invariance(self, request, scene_fixture):
+        """The batch boundary must never leak into the answer."""
+        scene = request.getfixturevalue(scene_fixture)
+        small = run_engine(scene, "vector", n_photons=300, seed=3, batch_size=37)
+        large = run_engine(scene, "vector", n_photons=300, seed=3, batch_size=4096)
+        assert small == large
+
+
+class TestPropertyParity:
+    """Hypothesis sweep over seeds, budgets and batch sizes (mini box)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**48 - 1),
+        n_photons=st.integers(min_value=0, max_value=120),
+        batch_size=st.integers(min_value=1, max_value=64),
+        fluor=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed(self, seed, n_photons, batch_size, fluor):
+        scene = type(self)._scene
+        kwargs = dict(
+            n_photons=n_photons,
+            seed=seed,
+            fluorescence=FLUOR if fluor else None,
+        )
+        scalar = run_engine(scene, "scalar", **kwargs)
+        vector = run_engine(scene, "vector", batch_size=batch_size, **kwargs)
+        assert vector == scalar
+
+    _scene = None
+
+    @pytest.fixture(autouse=True)
+    def _bind_scene(self, mini_scene):
+        type(self)._scene = mini_scene
+
+
+class TestSubstreams:
+    """The counter-based substream helpers agree with the scalar forks."""
+
+    def test_states_match_scalar_forks(self):
+        states = substream_states(0xC0FFEE, 5, 40)
+        for i, state in enumerate(states.tolist()):
+            assert state == photon_substream(0xC0FFEE, 5 + i).state
+
+    def test_streams_are_disjoint_draws(self, mini_scene):
+        """Adjacent photons never consume overlapping variates."""
+        rng = photon_substream(1, 0)
+        trace_photon(mini_scene, rng)
+        assert rng.draws < (1 << 20)
+
+    def test_empty_range(self):
+        assert substream_states(1, 0, 0).size == 0
+
+
+class TestEmissionParity:
+    """Batched emission mirrors emit_photon record-for-record."""
+
+    def test_emit_range_bit_exact(self, harpsichord):
+        from repro.core.generation import emit_photon
+
+        engine = VectorEngine(harpsichord)
+        batch = engine.emit_range(0xFACE, 10, 64)
+        for j in range(64):
+            rng = photon_substream(0xFACE, 10 + j)
+            record = emit_photon(harpsichord, rng)
+            assert int(batch.patch[j]) == record.patch_id
+            assert batch.s[j] == record.s
+            assert batch.t[j] == record.t
+            assert batch.theta[j] == record.theta
+            assert batch.r2[j] == record.r_squared
+            assert int(batch.band[j]) == record.photon.band
+            assert batch.px[j] == record.photon.position.x
+            assert batch.dy[j] == record.photon.direction.y
+            assert int(batch.states[j]) == rng.state
+
+
+class TestIntersectionPruning:
+    """Octree-leaf candidate pruning must not change any answer."""
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_pruned_equals_dense(self, request, scene_fixture):
+        scene = request.getfixturevalue(scene_fixture)
+        results = {}
+        for prune in (False, True):
+            engine = VectorEngine(scene, batch_size=128, prune=prune)
+            events, stats = engine.trace_range(0xAB, 0, 250)
+            events = events.sorted_canonical()
+            results[prune] = (
+                [a.tolist() for a in (events.gidx, events.seq, events.patch,
+                                      events.s, events.t, events.theta,
+                                      events.r2, events.band)],
+                stats,
+            )
+        assert results[True] == results[False]
+
+
+class TestConfigValidation:
+    def test_vector_rejects_serial_stream(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_photons=1, engine="vector", rng_mode="stream")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_photons=1, engine="gpu")
+
+    def test_auto_resolution(self):
+        assert SimulationConfig(n_photons=1).resolved_rng_mode == "stream"
+        assert (
+            SimulationConfig(n_photons=1, engine="vector").resolved_rng_mode
+            == "substream"
+        )

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the golden answerfiles under tests/data/.
+
+Run from the repo root after an *intentional* physics change::
+
+    PYTHONPATH=src python tests/data/regenerate.py
+
+Each golden is the byte-exact ``save_answer`` output of a small fixed
+simulation.  ``*.substream.answer.json`` files are engine-independent
+(scalar-substream, vector, and procpool runs must all reproduce them);
+``cornell-box.stream.answer.json`` pins the historical scalar
+single-stream physics.  The regression tests in
+``tests/core/test_golden_answers.py`` diff fresh runs against these
+bytes, so *any* silent drift — RNG order, intersection tie rules, split
+statistics, serialisation — fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import PhotonSimulator, SimulationConfig, save_answer
+from repro.scenes import build_scene
+
+DATA_DIR = Path(__file__).parent
+GOLDEN_PHOTONS = 240
+GOLDEN_SEED = 0x1234ABCD330E
+SCENES = ("cornell-box", "computer-lab", "harpsichord-room")
+
+
+def golden_config(engine: str, rng_mode: str) -> SimulationConfig:
+    """The exact configuration every golden is produced with."""
+    return SimulationConfig(
+        n_photons=GOLDEN_PHOTONS,
+        seed=GOLDEN_SEED,
+        engine=engine,
+        rng_mode=rng_mode,
+    )
+
+
+def main() -> None:
+    for name in SCENES:
+        scene = build_scene(name)
+        result = PhotonSimulator(scene, golden_config("scalar", "substream")).run()
+        out = DATA_DIR / f"{name}.substream.answer.json"
+        save_answer(result.forest, out)
+        print(f"wrote {out} ({out.stat().st_size} bytes)")
+    scene = build_scene("cornell-box")
+    result = PhotonSimulator(scene, golden_config("scalar", "stream")).run()
+    out = DATA_DIR / "cornell-box.stream.answer.json"
+    save_answer(result.forest, out)
+    print(f"wrote {out} ({out.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

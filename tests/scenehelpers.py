@@ -1,0 +1,32 @@
+"""Importable scene builders shared by tests and benchmarks.
+
+Plain module (not a conftest) so both suites — and their legacy
+``from tests.conftest import build_mini_scene`` call sites — can reach
+the builders without duplicating them.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Scene, axis_rect, matte
+from repro.geometry.material import emitter
+
+
+def build_mini_scene() -> Scene:
+    """A tiny closed white box with one ceiling lamp (8 patches).
+
+    Fast enough for hypothesis-heavy tests; closed so photons never
+    escape (helps exact energy accounting).
+    """
+    white = matte("white", 0.6, 0.6, 0.6)
+    lamp = emitter("lamp", 5.0, 5.0, 5.0)
+    patches = [
+        axis_rect("y", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="floor", flip=True),
+        axis_rect("y", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="ceiling"),
+        axis_rect("x", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="w0"),
+        axis_rect("x", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="w1", flip=True),
+        axis_rect("z", 0.0, (0.0, 1.0), (0.0, 1.0), white, name="w2"),
+        axis_rect("z", 1.0, (0.0, 1.0), (0.0, 1.0), white, name="w3", flip=True),
+        axis_rect("y", 0.98, (0.4, 0.6), (0.4, 0.6), lamp, name="lamp"),
+        axis_rect("y", 0.4, (0.3, 0.7), (0.3, 0.7), white, name="shelf", flip=True),
+    ]
+    return Scene(patches, name="mini-box")
