@@ -1,0 +1,7 @@
+"""Benchmark suite package.
+
+A real package (not just a directory) so pytest imports these modules
+as ``benchmarks.test_*`` — letting a benchmark and a unit test share a
+basename (e.g. ``test_flat_octree.py`` lives both here and under
+``tests/geometry/``) without an import-file mismatch.
+"""

@@ -14,7 +14,10 @@ bit-identical answer files under per-photon substream RNG:
 * ``--engine scalar`` — the per-photon reference loop (the correctness
   oracle; ~10k photons/s on the Cornell box).
 * ``--engine vector`` — the NumPy batch engine: photons traced in
-  structure-of-arrays batches (typically 5-8x faster).
+  structure-of-arrays batches (typically 5-8x faster).  On large scenes
+  intersection runs through the flattened array-encoded octree
+  (``repro.geometry.flatoctree``; ``repro simulate --accel`` selects a
+  mode explicitly).
 * ``--engine vector --workers N`` — batches sharded across a
   multiprocessing pool; on a multi-core machine this multiplies the
   vector rate again.

@@ -91,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sim.add_argument(
+        "--accel",
+        choices=("auto", "flat", "octree", "linear"),
+        default="auto",
+        help=(
+            "vector-engine intersection accelerator: flat = array-encoded "
+            "octree batch walk (fastest on large scenes), octree = per-leaf "
+            "pruned loop, linear = dense scan; answers are identical in "
+            "every mode"
+        ),
+    )
+    p_sim.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -155,6 +166,7 @@ def _cmd_simulate(args, out) -> int:
         rng_mode=args.rng,
         batch_size=args.batch_size,
         workers=args.workers,
+        accel=args.accel,
     )
     t0 = time.perf_counter()
     result = PhotonSimulator(scene, config).run()

@@ -4,9 +4,29 @@ The scalar reference (:func:`repro.core.simulator.trace_photon`) walks one
 photon at a time through emission -> intersect -> reflect, consuming one
 ``drand48`` stream.  This module traces *batches* of photons in NumPy
 structure-of-arrays form — batched emission, batched ray/patch
-intersection (octree-leaf candidate pruning for large scenes), batched
-roulette/lobe sampling — while remaining **bit-exact** with the scalar
-path photon-for-photon.
+intersection, batched roulette/lobe sampling — while remaining
+**bit-exact** with the scalar path photon-for-photon.
+
+Intersection acceleration is selectable (``accel=``, surfaced as
+``SimulationConfig.accel`` / ``repro simulate --accel``):
+
+* ``"linear"`` — dense all-patches testing, chunked over patch columns;
+  fastest for small scenes where candidate selection cannot pay for
+  itself.
+* ``"octree"`` — PR 1's pruned walk: a Python loop over every octree
+  leaf, slab-testing the whole batch per leaf.  Kept as the benchmark
+  baseline for the flat walk.
+* ``"flat"`` — the :class:`repro.geometry.flatoctree.FlatOctree`
+  batched stack traversal: the pointer octree compiled once into
+  contiguous arrays, then whole-batch slab tests per eight-child block
+  with per-lane closest-hit pruning.  Lanes leave the walk as subtrees
+  miss, so per-node cost shrinks with depth instead of paying per-leaf
+  interpreter overhead on the full batch.
+* ``"auto"`` — ``"flat"`` at or above :data:`PRUNE_PATCH_THRESHOLD`
+  patches, ``"linear"`` below.
+
+All four produce identical answers (the determinism contract below);
+they differ only in speed.
 
 Bit-exactness is what lets the parity suite compare bin forests
 tally-for-tally instead of statistically.  Three disciplines make it
@@ -31,10 +51,18 @@ possible:
   (few) event lanes.  ``sin``/``cos``/``sqrt`` are bit-identical and stay
   vectorized.
 
+Determinism contract
+--------------------
 Closest-hit ties (two patches at the *same* float distance) are resolved
-toward the highest patch index, matching the linear reference scan; the
-octree reference can disagree only on cross-cell exact-distance ties,
-which the parity suite never observes on the test scenes.
+toward the **highest patch index**, matching the linear reference scan
+and the canonicalized octree; because the rule is a pure function of
+``(distance, patch_id)``, the answer is independent of candidate visit
+order, duplicate leaf membership, and the ``accel`` mode.  The octree
+reference can disagree only on cross-cell exact-distance ties, which the
+parity suite never observes on the test scenes.  Downstream, canonical
+``(photon, bounce)`` event ordering (:class:`EventBatch`) makes tallying
+independent of batch boundaries and worker sharding — the other half of
+the contract :mod:`repro.parallel.procpool` relies on.
 """
 
 from __future__ import annotations
@@ -45,6 +73,7 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..geometry.flatoctree import FlatOctree, slab_spans
 from ..geometry.ray import EPSILON
 from ..geometry.scene import Scene
 from ..geometry.vec import Vec3, orthonormal_basis
@@ -68,6 +97,7 @@ __all__ = [
     "VectorEngine",
     "apply_events",
     "tally_block",
+    "ACCEL_MODES",
     "PRUNE_PATCH_THRESHOLD",
 ]
 
@@ -76,8 +106,13 @@ __all__ = [
 #: (the bounce cap alone limits it to a few thousand).
 SUBSTREAM_SPACING_BITS = 20
 
+#: Intersection acceleration modes accepted by :class:`VectorEngine`
+#: (``"auto"`` resolves at construction, see the module docstring).
+ACCEL_MODES = ("auto", "flat", "octree", "linear")
+
 #: Dense all-patches intersection wins below this patch count; above it
-#: the octree-leaf candidate pruning pays for its per-leaf overhead.
+#: hierarchical candidate selection pays for its per-node overhead
+#: (``accel="auto"`` switches from ``"linear"`` to ``"flat"`` here).
 PRUNE_PATCH_THRESHOLD = 192
 
 _MASK = MODULUS - 1
@@ -218,6 +253,10 @@ class SceneArrays:
             [1.0 if l.beam_half_angle is None else math.sin(l.beam_half_angle)
              for l in lums]
         )
+
+        # The array-encoded octree for the flat batched walk (compiled
+        # once; pickled to pool workers with the rest of the arrays).
+        self.flat = FlatOctree.from_octree(scene.octree)
 
         # Octree leaves for candidate pruning: bounds plus member patches.
         leaves = [
@@ -360,14 +399,20 @@ class VectorEngine:
         fluorescence: Optional Stokes-shift spec (same semantics as the
             scalar :func:`repro.core.fluorescence.fluorescent_reflect`).
         batch_size: Photons per structure-of-arrays batch.
-        prune: Force octree-leaf candidate pruning on/off; ``None`` picks
-            dense below :data:`PRUNE_PATCH_THRESHOLD` patches, pruned
-            above.
+        accel: Intersection acceleration, one of :data:`ACCEL_MODES`
+            (module docstring); ``None``/``"auto"`` picks ``"flat"`` at
+            or above :data:`PRUNE_PATCH_THRESHOLD` patches, ``"linear"``
+            below.
+        prune: Legacy alias kept for PR 1 callers: ``True`` forces the
+            pruned leaf loop (``accel="octree"``), ``False`` the dense
+            scan (``accel="linear"``).  Mutually exclusive with *accel*.
 
     Attributes:
+        accel: The resolved acceleration mode (never ``"auto"``).
         patch_tests: Cumulative lane-x-patch plane tests performed (the
             vector analogue of ``OctreeStats.intersection_tests``).
-        box_tests: Cumulative lane-x-leaf slab tests (pruned path only).
+        box_tests: Cumulative lane-x-node slab tests (flat and octree
+            modes; the flat walk counts eight per visited child block).
     """
 
     def __init__(
@@ -376,17 +421,31 @@ class VectorEngine:
         *,
         fluorescence: Optional["FluorescenceSpec"] = None,
         batch_size: int = 4096,
+        accel: Optional[str] = None,
         prune: Optional[bool] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if accel is not None and prune is not None:
+            raise ValueError("pass either accel= or the legacy prune=, not both")
+        if prune is not None:
+            accel = "octree" if prune else "linear"
+        if accel is None:
+            accel = "auto"
+        if accel not in ACCEL_MODES:
+            raise ValueError(f"unknown accel {accel!r}; pick from {ACCEL_MODES}")
         self.scene = scene
         self.arrays = SceneArrays(scene)
         self.fluorescence = fluorescence
         self.batch_size = batch_size
-        if prune is None:
-            prune = self.arrays.patch_count >= PRUNE_PATCH_THRESHOLD
-        self.prune = prune
+        if accel == "auto":
+            accel = (
+                "flat"
+                if self.arrays.patch_count >= PRUNE_PATCH_THRESHOLD
+                else "linear"
+            )
+        self.accel = accel
+        self.prune = accel != "linear"
         self.patch_tests = 0
         self.box_tests = 0
 
@@ -523,18 +582,20 @@ class VectorEngine:
         ndoto = (nx * lpx + ny * lpy) + nz * lpz
         with np.errstate(divide="ignore", invalid="ignore"):
             t = (A.d_plane[cols] - ndoto) / denom
-        ok = ((denom <= -1e-14) | (denom >= 1e-14)) & (t > EPSILON)
+            ok = ((denom <= -1e-14) | (denom >= 1e-14)) & (t > EPSILON)
 
-        hx = lpx + t * ldx
-        hy = lpy + t * ldy
-        hz = lpz + t * ldz
-        wx = hx - A.p0x[cols]
-        wy = hy - A.p0y[cols]
-        wz = hz - A.p0z[cols]
-        wu = (wx * A.eux[cols] + wy * A.euy[cols]) + wz * A.euz[cols]
-        wv = (wx * A.evx[cols] + wy * A.evy[cols]) + wz * A.evz[cols]
-        sc = (wu * A.inv_vv[cols] - wv * A.inv_uv[cols]) * A.det_inv[cols]
-        tc = (wv * A.inv_uu[cols] - wu * A.inv_uv[cols]) * A.det_inv[cols]
+            # Rejected lanes may carry inf/NaN t here; their products are
+            # masked out below, so only the warnings need suppressing.
+            hx = lpx + t * ldx
+            hy = lpy + t * ldy
+            hz = lpz + t * ldz
+            wx = hx - A.p0x[cols]
+            wy = hy - A.p0y[cols]
+            wz = hz - A.p0z[cols]
+            wu = (wx * A.eux[cols] + wy * A.euy[cols]) + wz * A.euz[cols]
+            wv = (wx * A.evx[cols] + wy * A.evy[cols]) + wz * A.evz[cols]
+            sc = (wu * A.inv_vv[cols] - wv * A.inv_uv[cols]) * A.det_inv[cols]
+            tc = (wv * A.inv_uu[cols] - wu * A.inv_uv[cols]) * A.det_inv[cols]
         tol = 1e-9
         ok &= (sc >= -tol) & (sc <= 1.0 + tol) & (tc >= -tol) & (tc <= 1.0 + tol)
 
@@ -558,17 +619,39 @@ class VectorEngine:
     def _intersect(
         self, px, py, pz, dx, dy, dz
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Closest hit per lane: (patch index or -1, distance)."""
+        """Closest hit per lane: (patch index or -1, distance).
+
+        Dispatches on ``self.accel``; every mode computes the identical
+        reduction (closest ``t``, exact ties to the largest patch id).
+        """
         n = px.size
         best_t = np.full(n, np.inf)
         best_i = np.full(n, -1, dtype=np.int64)
         A = self.arrays
-        if not self.prune:
+        if self.accel == "linear":
             P = A.patch_count
             chunk = 256
             for c0 in range(0, P, chunk):
                 cols = np.arange(c0, min(c0 + chunk, P), dtype=np.int64)
                 self._test_patches(px, py, pz, dx, dy, dz, cols, best_t, best_i)
+            return best_i, best_t
+
+        if self.accel == "flat":
+            # Flattened array-encoded walk: whole-batch slab tests per
+            # eight-child block, lanes dropping out as subtrees miss or
+            # fall strictly behind their current best hit.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                inv_x = 1.0 / dx
+                inv_y = 1.0 / dy
+                inv_z = 1.0 / dz
+
+            def visit_leaf(cols: np.ndarray, rows: np.ndarray) -> None:
+                self._test_patches(px, py, pz, dx, dy, dz, cols,
+                                   best_t, best_i, rows)
+
+            self.box_tests += A.flat.traverse(
+                px, py, pz, inv_x, inv_y, inv_z, best_t, visit_leaf
+            )
             return best_i, best_t
 
         # Octree-leaf candidate pruning: a slab test selects, per leaf,
@@ -580,19 +663,10 @@ class VectorEngine:
             inv_y = 1.0 / dy
             inv_z = 1.0 / dz
         for li, cols in enumerate(A.leaf_patches):
-            tx1 = (A.leaf_lox[li] - px) * inv_x
-            tx2 = (A.leaf_hix[li] - px) * inv_x
-            ty1 = (A.leaf_loy[li] - py) * inv_y
-            ty2 = (A.leaf_hiy[li] - py) * inv_y
-            tz1 = (A.leaf_loz[li] - pz) * inv_z
-            tz2 = (A.leaf_hiz[li] - pz) * inv_z
-            tmin = np.maximum(
-                np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2)),
-                np.minimum(tz1, tz2),
-            )
-            tmax = np.minimum(
-                np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2)),
-                np.maximum(tz1, tz2),
+            tmin, tmax = slab_spans(
+                A.leaf_lox[li], A.leaf_loy[li], A.leaf_loz[li],
+                A.leaf_hix[li], A.leaf_hiy[li], A.leaf_hiz[li],
+                px, py, pz, inv_x, inv_y, inv_z,
             )
             # NaN (0/0 on a boundary-grazing axis-parallel ray) compares
             # False, leaving the lane *included* — conservative.

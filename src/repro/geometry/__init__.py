@@ -12,6 +12,7 @@ from .material import (
     matte,
     mirror,
 )
+from .flatoctree import FlatOctree
 from .octree import Octree, OctreeNode, OctreeStats
 from .polygon import Hit, Patch
 from .ray import EPSILON, Ray
@@ -23,6 +24,7 @@ __all__ = [
     "AABB",
     "BLACK",
     "EPSILON",
+    "FlatOctree",
     "Hit",
     "Luminaire",
     "Material",

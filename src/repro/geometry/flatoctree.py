@@ -1,0 +1,282 @@
+"""Flattened structure-of-arrays octree for batched traversal.
+
+The pointer octree (:class:`repro.geometry.octree.Octree`) is ideal for
+the scalar tracer: one ray at a time, near-to-far recursion, early exit.
+The vector engine needs the opposite shape — *one node at a time, all
+rays at once* — and PR 1's interim answer (a Python loop over every
+octree leaf per batch) pays per-leaf interpreter overhead ~3.4k times
+per batch on the computer-lab scene whether or not a single lane's ray
+goes anywhere near the leaf.
+
+:class:`FlatOctree` is a one-time compile of the pointer tree into
+contiguous NumPy arrays, after which traversal never touches a Python
+object per node:
+
+* **Node bounds** live in six parallel ``float64`` arrays
+  (``lox..hiz``), indexed by flat node id.
+* **Topology** is a single ``first_child`` ``int32`` array.  Children of
+  an interior node occupy eight *consecutive* slots (octant order), so
+  one integer encodes all eight links and a child block's bounds are a
+  contiguous slice — the layout production renderers use for
+  array-encoded BVH/octree walks.
+* **Leaf membership** is a shared ``leaf_items`` patch-id array with
+  per-node ``[leaf_start, leaf_end)`` ranges (ids ascending within each
+  leaf; interior nodes hold an empty range).
+
+Traversal (:meth:`FlatOctree.traverse`) is an explicit stack walk over
+*photon batches*: each pop slab-tests one eight-child block against
+every live lane in a single broadcast, then recurses only into children
+some lane actually enters.  Lanes fall out of the walk as subtrees miss,
+so deep nodes see few lanes and untouched subtrees cost nothing.
+
+Determinism contract
+--------------------
+The walk visits leaves in a fixed structural order, but the *answer* is
+visit-order independent: the caller's closest-hit reduction resolves
+exact-distance ties to the **maximum patch id** (the canonical rule
+shared by the linear scan, the pointer octree, and the vector engine —
+see :mod:`repro.geometry.octree`), and a subtree is pruned only when it
+provably cannot beat a lane's current best (slab miss, box behind the
+origin, or entry strictly beyond the best hit; NaN slab results from
+boundary-grazing axis-parallel rays compare ``False`` and are kept,
+which is the conservative side).  The slab arithmetic replicates
+:meth:`repro.geometry.aabb.AABB.intersect_ray` expression-for-expression
+(``(bound - origin) * (1/direction)``), so pruning decisions agree with
+the scalar tracer bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .octree import Octree, OctreeNode
+
+__all__ = ["FlatOctree", "slab_spans"]
+
+
+def slab_spans(lox, loy, loz, hix, hiy, hiz, ox, oy, oz, ix, iy, iz):
+    """Batched ``(t_enter, t_exit)`` slab spans for boxes against rays.
+
+    The single home of the slab arithmetic every batched kernel shares
+    (flat-walk child blocks, the root test, the legacy octree leaf
+    loop), replicating :meth:`repro.geometry.aabb.AABB.intersect_ray`
+    expression-for-expression: ``(bound - origin) * (1/direction)``.
+    Any broadcast-compatible shapes work.  Lanes where ``0 * inf``
+    occurs (axis-parallel ray on a slab plane) yield NaN, which every
+    caller's rejection mask treats as "keep" — the conservative side.
+    """
+    with np.errstate(invalid="ignore"):
+        tx1 = (lox - ox) * ix
+        tx2 = (hix - ox) * ix
+        ty1 = (loy - oy) * iy
+        ty2 = (hiy - oy) * iy
+        tz1 = (loz - oz) * iz
+        tz2 = (hiz - oz) * iz
+    t_enter = np.maximum(
+        np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2)),
+        np.minimum(tz1, tz2),
+    )
+    t_exit = np.minimum(
+        np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2)),
+        np.maximum(tz1, tz2),
+    )
+    return t_enter, t_exit
+
+
+class FlatOctree:
+    """Array-encoded octree compiled from a pointer :class:`Octree`.
+
+    Build once per scene with :meth:`from_octree`; the instance is
+    immutable and shares no state with the source tree, so it pickles
+    cheaply to pool workers.
+
+    Attributes:
+        lox, loy, loz, hix, hiy, hiz: Per-node bounds (``float64``).
+        first_child: Per-node index of the first of eight consecutive
+            children, or ``-1`` for a leaf (``int32``).
+        leaf_start, leaf_end: Per-node ``[start, end)`` range into
+            ``leaf_items`` (empty for interior nodes).
+        leaf_items: Concatenated member patch ids of every leaf, sorted
+            ascending within each leaf (``int64``).
+        depth: Per-node depth (root is 0); used by structural tests and
+            diagnostics, not by traversal.
+    """
+
+    __slots__ = (
+        "lox", "loy", "loz", "hix", "hiy", "hiz",
+        "first_child", "leaf_start", "leaf_end", "leaf_items", "depth",
+    )
+
+    def __init__(
+        self,
+        lox: np.ndarray, loy: np.ndarray, loz: np.ndarray,
+        hix: np.ndarray, hiy: np.ndarray, hiz: np.ndarray,
+        first_child: np.ndarray,
+        leaf_start: np.ndarray, leaf_end: np.ndarray,
+        leaf_items: np.ndarray, depth: np.ndarray,
+    ) -> None:
+        self.lox, self.loy, self.loz = lox, loy, loz
+        self.hix, self.hiy, self.hiz = hix, hiy, hiz
+        self.first_child = first_child
+        self.leaf_start = leaf_start
+        self.leaf_end = leaf_end
+        self.leaf_items = leaf_items
+        self.depth = depth
+
+    # -- compiler -------------------------------------------------------------
+
+    @classmethod
+    def from_octree(cls, octree: Octree) -> "FlatOctree":
+        """Compile *octree* into flat arrays (breadth-first node order).
+
+        Breadth-first emission is what makes each interior node's eight
+        children consecutive: when a node is dequeued its children are
+        appended as one block, and ``first_child`` records the block
+        base.  Every pointer node — including empty leaves — gets a
+        slot, so structural round-trip tests can compare node counts
+        and bounds one-for-one.
+        """
+        order: list[OctreeNode] = [octree.root]
+        first_child: list[int] = []
+        i = 0
+        while i < len(order):
+            node = order[i]
+            if node.is_leaf:
+                first_child.append(-1)
+            else:
+                first_child.append(len(order))
+                order.extend(node.children)  # type: ignore[arg-type]
+            i += 1
+
+        n = len(order)
+        lox = np.empty(n); loy = np.empty(n); loz = np.empty(n)
+        hix = np.empty(n); hiy = np.empty(n); hiz = np.empty(n)
+        depth = np.empty(n, dtype=np.int32)
+        leaf_start = np.zeros(n, dtype=np.int64)
+        leaf_end = np.zeros(n, dtype=np.int64)
+        items: list[int] = []
+        for j, node in enumerate(order):
+            b = node.bounds
+            lox[j], loy[j], loz[j] = b.lo.x, b.lo.y, b.lo.z
+            hix[j], hiy[j], hiz[j] = b.hi.x, b.hi.y, b.hi.z
+            depth[j] = node.depth
+            if node.children is None and node.patches:
+                leaf_start[j] = len(items)
+                items.extend(sorted(p.patch_id for p in node.patches))
+                leaf_end[j] = len(items)
+        return cls(
+            lox, loy, loz, hix, hiy, hiz,
+            np.array(first_child, dtype=np.int32),
+            leaf_start, leaf_end,
+            np.array(items, dtype=np.int64), depth,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes (interior + leaves), matching ``OctreeStats``."""
+        return int(self.first_child.size)
+
+    @property
+    def leaf_count(self) -> int:
+        """Nodes with no children (possibly with empty patch ranges)."""
+        return int((self.first_child < 0).sum())
+
+    def leaf_patch_ids(self, node: int) -> np.ndarray:
+        """Ascending member patch ids of flat node *node* (empty if interior)."""
+        return self.leaf_items[self.leaf_start[node]:self.leaf_end[node]]
+
+    # -- batched traversal ----------------------------------------------------
+
+    def traverse(
+        self,
+        px: np.ndarray, py: np.ndarray, pz: np.ndarray,
+        inv_x: np.ndarray, inv_y: np.ndarray, inv_z: np.ndarray,
+        best_t: np.ndarray,
+        visit_leaf: Callable[[np.ndarray, np.ndarray], None],
+    ) -> int:
+        """Walk the whole ray batch through the tree; returns slab-test count.
+
+        Args:
+            px, py, pz: Lane ray origins.
+            inv_x, inv_y, inv_z: Lane reciprocal directions (``inf``/NaN
+                for zero components is expected and handled
+                conservatively).
+            best_t: Per-lane current-best hit distance, **read live**:
+                the caller's ``visit_leaf`` updates it in place and later
+                pops prune against the tightened bound.  Pruning is
+                strict (``t_enter > best_t``) so equal-distance
+                candidates survive for the max-patch-id tie-break.
+            visit_leaf: ``visit_leaf(patch_ids, rows)`` — test the lanes
+                in ``rows`` against the leaf's member ``patch_ids``
+                (ascending) and fold the results into ``best_t``.
+
+        Returns:
+            Number of lane x node slab tests performed (the flat
+            analogue of the pruned walk's ``box_tests`` counter).
+        """
+        n = px.size
+        if n == 0 or self.first_child.size == 0:
+            return 0
+        rows = np.arange(n)
+        box_tests = n
+        # 0 * inf (axis-parallel ray on a slab plane) yields NaN lanes by
+        # design; silence the RuntimeWarning, the masks keep them.
+        with np.errstate(invalid="ignore"):
+            rows = rows[self._enter_root(px, py, pz, inv_x, inv_y, inv_z, best_t)]
+        if rows.size == 0:
+            return box_tests
+        root_child = int(self.first_child[0])
+        if root_child < 0:
+            if self.leaf_end[0] > self.leaf_start[0]:
+                visit_leaf(self.leaf_items[self.leaf_start[0]:self.leaf_end[0]], rows)
+            return box_tests
+
+        first_child = self.first_child
+        leaf_start = self.leaf_start
+        leaf_end = self.leaf_end
+        leaf_items = self.leaf_items
+        stack: list[tuple[int, np.ndarray]] = [(root_child, rows)]
+        while stack:
+            c0, rows = stack.pop()
+            m = rows.size
+            box_tests += m * 8
+            sl = slice(c0, c0 + 8)
+            tmin, tmax = slab_spans(
+                self.lox[sl], self.loy[sl], self.loz[sl],
+                self.hix[sl], self.hiy[sl], self.hiz[sl],
+                px[rows, None], py[rows, None], pz[rows, None],
+                inv_x[rows, None], inv_y[rows, None], inv_z[rows, None],
+            )
+            # All three rejection tests compare False on NaN lanes
+            # (axis-parallel rays on a cell boundary), keeping them —
+            # the conservative choice the leaf-loop walk also makes.
+            enter = ~(
+                (tmax < tmin) | (tmax < 0.0) | (tmin > best_t[rows, None])
+            )
+            for j in range(8):
+                crows = rows[enter[:, j]]
+                if crows.size == 0:
+                    continue
+                c = c0 + j
+                fc = first_child[c]
+                if fc < 0:
+                    if leaf_end[c] > leaf_start[c]:
+                        visit_leaf(leaf_items[leaf_start[c]:leaf_end[c]], crows)
+                else:
+                    stack.append((int(fc), crows))
+        return box_tests
+
+    def _enter_root(
+        self, px, py, pz, inv_x, inv_y, inv_z, best_t
+    ) -> np.ndarray:
+        """Boolean mask of lanes whose rays touch the root cell."""
+        tmin, tmax = slab_spans(
+            self.lox[0], self.loy[0], self.loz[0],
+            self.hix[0], self.hiy[0], self.hiz[0],
+            px, py, pz, inv_x, inv_y, inv_z,
+        )
+        return ~((tmax < tmin) | (tmax < 0.0) | (tmin > best_t))

@@ -7,6 +7,25 @@ intersection is detected, it is the closest intersection and further
 testing is not needed."  This module implements exactly that: children are
 visited near-to-far along the ray, and traversal stops as soon as a hit
 closer than the entry distance of every remaining cell is found.
+
+Determinism contract
+--------------------
+Every intersector in the repo — the linear reference scan, this pointer
+octree, and the vector engine's accelerators (including the flattened
+walk of :mod:`repro.geometry.flatoctree`, which is compiled *from* this
+tree) — resolves exact-distance ties to the **maximum patch id**.  The
+rule is a pure function of ``(distance, patch_id)``, so the closest hit
+is independent of traversal order, of duplicate patch membership across
+leaves, and of which accelerator ran; that is what lets the scalar
+oracle, the batch engine, and every parallel backend agree
+tally-for-tally.  When changing traversal here, preserve (a) the tie
+rule in both the leaf loop and the cross-cell merge, and (b) the slab
+arithmetic of :meth:`repro.geometry.aabb.AABB.intersect_ray`, which the
+batched kernels replicate expression-for-expression.
+
+The pointer layout (this module) serves the one-ray-at-a-time scalar
+tracer; batch tracing compiles it into structure-of-arrays form with
+:meth:`repro.geometry.flatoctree.FlatOctree.from_octree`.
 """
 
 from __future__ import annotations

@@ -18,11 +18,28 @@ workers and reassembles the answer in two phases:
    disjoint sections with the existing distributed-merge machinery
    (:func:`repro.parallel.distributed.merge_rank_forests`).
 
+Determinism contract
+--------------------
 Because tallies replay in canonical order and ownership partitions the
 tree keys, the merged forest is **identical node-for-node** to a
 single-process vector run (and to the scalar substream oracle) for any
 worker count, batch size, or merge order — the property the determinism
-suite locks down.
+suite locks down.  Three invariants carry the proof:
+
+* **Substream independence** — photon *i* draws only from its private
+  counter-based substream, so shard boundaries cannot change any draw.
+* **Canonical event order** — every shard sorts its events by
+  ``(photon, bounce)`` before shipping, and shards cover contiguous
+  ascending index ranges, so concatenation replays the exact serial
+  tally sequence.
+* **Merge-order invariance** — ownership sections are disjoint by
+  construction (``patch_id % workers``), so the union is a permutation-
+  free merge; trees are then re-keyed into first-tally order to make
+  the serialised answer byte-stable.
+
+Workers inherit the parent's ``config.accel`` intersection mode; since
+every accelerator is bit-exact (see :mod:`repro.core.vectorized`), the
+choice affects throughput only.
 """
 
 from __future__ import annotations
@@ -51,12 +68,15 @@ def _trace_shard(
     scene: Scene,
     fluorescence,
     batch_size: int,
+    accel: str,
     seed: int,
     start: int,
     count: int,
 ) -> tuple[tuple, TraceStats]:
     """Pool target: trace photons ``start .. start+count`` of the budget."""
-    engine = VectorEngine(scene, fluorescence=fluorescence, batch_size=batch_size)
+    engine = VectorEngine(
+        scene, fluorescence=fluorescence, batch_size=batch_size, accel=accel
+    )
     events, stats = engine.trace_range(seed, start, count)
     events = events.sorted_canonical()
     return (
@@ -97,7 +117,8 @@ def trace_events_parallel(
         starts.append((offset, share))
         offset += share
     jobs = [
-        (scene, config.fluorescence, config.batch_size, config.seed, start, count)
+        (scene, config.fluorescence, config.batch_size, config.accel,
+         config.seed, start, count)
         for start, count in starts
         if count > 0
     ]

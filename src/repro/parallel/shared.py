@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.bintree import BinForest, SplitPolicy
-from ..core.simulator import ENGINES, TraceStats, trace_photon
+from ..core.simulator import ACCELS, ENGINES, TraceStats, trace_photon
 from ..geometry.scene import Scene
 from ..rng import Lcg48
 from .distributed import rank_share
@@ -153,6 +153,9 @@ class SharedConfig:
             and a 1-worker run matches the serial vector engine
             node-for-node.
         batch_size: Photons per vector batch (vector engine only).
+        accel: Vector-engine intersection accelerator (see
+            :data:`repro.core.simulator.ACCELS`); answers are identical
+            in every mode.
     """
 
     n_photons: int
@@ -160,6 +163,7 @@ class SharedConfig:
     policy: SplitPolicy = field(default_factory=SplitPolicy)
     engine: str = "scalar"
     batch_size: int = 4096
+    accel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
@@ -168,6 +172,8 @@ class SharedConfig:
             raise ValueError(f"unknown engine {self.engine!r}; pick from {ENGINES}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if self.accel not in ACCELS:
+            raise ValueError(f"unknown accel {self.accel!r}; pick from {ACCELS}")
 
 
 @dataclass
@@ -222,7 +228,7 @@ def _worker_vector(
 
     start = sum(rank_share(config.n_photons, w, n_workers) for w in range(worker))
     my_share = rank_share(config.n_photons, worker, n_workers)
-    engine = VectorEngine(scene, batch_size=config.batch_size)
+    engine = VectorEngine(scene, batch_size=config.batch_size, accel=config.accel)
     stats = TraceStats()
     # Trace and replay one batch at a time so in-flight event storage is
     # bounded by batch_size, not the whole share; contiguous batches in

@@ -9,6 +9,7 @@ A legacy single-stream golden pins the historical scalar behaviour too.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -62,15 +63,22 @@ class TestSubstreamGoldens:
         got = simulate_bytes(scene, golden_config("vector", "substream"), tmp_path)
         assert got == golden_bytes(f"{scene_name}.substream.answer.json")
 
+    @pytest.mark.parametrize("accel", ["flat", "octree", "linear"])
+    @pytest.mark.parametrize("scene_name", sorted(SCENE_FIXTURES))
+    def test_vector_engine_accels(self, request, tmp_path, scene_name, accel):
+        """Every intersection accelerator lands on the committed bytes."""
+        scene = scene_for(request, scene_name)
+        config = replace(golden_config("vector", "substream"), accel=accel)
+        got = simulate_bytes(scene, config, tmp_path)
+        assert got == golden_bytes(f"{scene_name}.substream.answer.json")
+
     def test_procpool(self, request, tmp_path):
         """The multi-process backend hits the same bytes."""
         from tests.parallel.test_procpool import _InlinePool
 
         scene = scene_for(request, "cornell-box")
-        config = golden_config("vector", "substream")
-        config = type(config)(
-            n_photons=config.n_photons, seed=config.seed, engine="vector",
-            workers=3, batch_size=64,
+        config = replace(
+            golden_config("vector", "substream"), workers=3, batch_size=64
         )
         result = run_procpool(scene, config, pool=_InlinePool())
         out = tmp_path / "answer.json"
@@ -93,9 +101,14 @@ class TestCliGolden:
         [
             ["--engine", "scalar", "--rng", "substream"],
             ["--engine", "vector"],
+            ["--engine", "vector", "--accel", "flat"],
             ["--engine", "vector", "--workers", "2", "--batch-size", "128"],
+            ["--engine", "vector", "--workers", "2", "--accel", "flat"],
         ],
-        ids=["scalar-substream", "vector", "vector-procpool"],
+        ids=[
+            "scalar-substream", "vector", "vector-flat",
+            "vector-procpool", "vector-procpool-flat",
+        ],
     )
     def test_simulate_matches_golden(self, tmp_path, extra):
         out = tmp_path / "cli.json"

@@ -84,6 +84,18 @@ class TestSceneParity:
         large = run_engine(scene, "vector", n_photons=300, seed=3, batch_size=4096)
         assert small == large
 
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    @pytest.mark.parametrize("accel", ["flat", "octree", "linear"])
+    def test_accel_modes_match_scalar(self, request, scene_fixture, accel):
+        """Every intersection accelerator reproduces the scalar oracle."""
+        scene = request.getfixturevalue(scene_fixture)
+        scalar_forest, scalar_stats = run_engine(scene, "scalar", n_photons=350, seed=11)
+        vector_forest, vector_stats = run_engine(
+            scene, "vector", n_photons=350, seed=11, accel=accel
+        )
+        assert vector_stats == scalar_stats
+        assert vector_forest == scalar_forest
+
 
 class TestPropertyParity:
     """Hypothesis sweep over seeds, budgets and batch sizes (mini box)."""
@@ -154,23 +166,30 @@ class TestEmissionParity:
 
 
 class TestIntersectionPruning:
-    """Octree-leaf candidate pruning must not change any answer."""
+    """Candidate selection (octree leaves or flat walk) must not change
+    any answer relative to the dense scan."""
 
     @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
-    def test_pruned_equals_dense(self, request, scene_fixture):
+    def test_accels_equal_dense(self, request, scene_fixture):
         scene = request.getfixturevalue(scene_fixture)
         results = {}
-        for prune in (False, True):
-            engine = VectorEngine(scene, batch_size=128, prune=prune)
+        for accel in ("linear", "octree", "flat"):
+            engine = VectorEngine(scene, batch_size=128, accel=accel)
             events, stats = engine.trace_range(0xAB, 0, 250)
             events = events.sorted_canonical()
-            results[prune] = (
+            results[accel] = (
                 [a.tolist() for a in (events.gidx, events.seq, events.patch,
                                       events.s, events.t, events.theta,
                                       events.r2, events.band)],
                 stats,
             )
-        assert results[True] == results[False]
+        assert results["octree"] == results["linear"]
+        assert results["flat"] == results["linear"]
+
+    def test_legacy_prune_flag_still_selects(self, cornell):
+        """PR 1 callers passing prune= keep their exact behaviour."""
+        assert VectorEngine(cornell, prune=True).accel == "octree"
+        assert VectorEngine(cornell, prune=False).accel == "linear"
 
 
 class TestConfigValidation:
@@ -181,6 +200,17 @@ class TestConfigValidation:
     def test_unknown_engine(self):
         with pytest.raises(ValueError):
             SimulationConfig(n_photons=1, engine="gpu")
+
+    def test_unknown_accel(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_photons=1, engine="vector", accel="bvh")
+
+    def test_accel_constants_agree(self):
+        """The config-level tuple must mirror the engine-level one."""
+        from repro.core.simulator import ACCELS
+        from repro.core.vectorized import ACCEL_MODES
+
+        assert ACCELS == ACCEL_MODES
 
     def test_auto_resolution(self):
         assert SimulationConfig(n_photons=1).resolved_rng_mode == "stream"

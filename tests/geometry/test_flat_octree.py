@@ -1,0 +1,176 @@
+"""FlatOctree compiler correctness: structural round-trip with the
+pointer octree, and closest-hit parity against the linear scan.
+
+The flat tree is a pure re-encoding — same cells, same memberships, same
+answers — so these tests compare it (a) node-for-node against the
+pointer tree it was compiled from and (b) hit-for-hit against a brute
+force all-patches scan under the canonical max-patch-id tie rule, on
+randomized ray batches over every test scene.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import VectorEngine
+from repro.geometry import FlatOctree
+from repro.geometry.octree import OctreeNode
+
+SCENE_FIXTURES = ("cornell", "harpsichord", "lab_small")
+
+
+def pointer_nodes_bfs(octree) -> list[OctreeNode]:
+    """Pointer nodes in the breadth-first order the compiler emits."""
+    order = [octree.root]
+    i = 0
+    while i < len(order):
+        node = order[i]
+        if not node.is_leaf:
+            order.extend(node.children)
+        i += 1
+    return order
+
+
+class TestRoundTrip:
+    """from_octree() preserves the tree structurally, node-for-node."""
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_node_and_leaf_counts(self, request, scene_fixture):
+        scene = request.getfixturevalue(scene_fixture)
+        flat = FlatOctree.from_octree(scene.octree)
+        assert flat.node_count == scene.octree.stats.node_count
+        assert flat.leaf_count == scene.octree.stats.leaf_count
+        assert flat.leaf_items.size == scene.octree.stats.patch_references
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_bounds_depth_and_memberships(self, request, scene_fixture):
+        scene = request.getfixturevalue(scene_fixture)
+        flat = FlatOctree.from_octree(scene.octree)
+        nodes = pointer_nodes_bfs(scene.octree)
+        assert len(nodes) == flat.node_count
+        for j, node in enumerate(nodes):
+            b = node.bounds
+            assert (flat.lox[j], flat.loy[j], flat.loz[j]) == (b.lo.x, b.lo.y, b.lo.z)
+            assert (flat.hix[j], flat.hiy[j], flat.hiz[j]) == (b.hi.x, b.hi.y, b.hi.z)
+            assert flat.depth[j] == node.depth
+            if node.is_leaf:
+                assert flat.first_child[j] == -1
+                assert flat.leaf_patch_ids(j).tolist() == sorted(
+                    p.patch_id for p in node.patches
+                )
+            else:
+                assert flat.first_child[j] > j
+                assert flat.leaf_patch_ids(j).size == 0
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_child_blocks_are_contiguous_octants(self, request, scene_fixture):
+        """first_child encodes all eight links; children sit in octant order."""
+        scene = request.getfixturevalue(scene_fixture)
+        flat = FlatOctree.from_octree(scene.octree)
+        nodes = pointer_nodes_bfs(scene.octree)
+        for j, node in enumerate(nodes):
+            if node.is_leaf:
+                continue
+            fc = int(flat.first_child[j])
+            for k in range(8):
+                child = nodes[fc + k]
+                assert child is node.children[k]
+                assert child.bounds == node.bounds.octant(k)
+
+
+def _linear_best(scene_arrays_engine, px, py, pz, dx, dy, dz):
+    """Oracle: dense scan over every patch with the canonical tie rule."""
+    oracle = VectorEngine(scene_arrays_engine.scene, accel="linear")
+    return oracle._intersect(px, py, pz, dx, dy, dz)
+
+
+def _random_rays(scene, rng, n):
+    """Ray batch mixing interior origins with points on patch surfaces."""
+    lo = scene.octree.root.bounds.lo
+    hi = scene.octree.root.bounds.hi
+    px = rng.uniform(lo.x, hi.x, n)
+    py = rng.uniform(lo.y, hi.y, n)
+    pz = rng.uniform(lo.z, hi.z, n)
+    d = rng.normal(size=(3, n))
+    norm = np.sqrt((d * d).sum(axis=0))
+    norm[norm == 0.0] = 1.0
+    d /= norm
+    return px, py, pz, d[0], d[1], d[2]
+
+
+class TestClosestHitParity:
+    """The flat walk agrees with the dense linear scan hit-for-hit."""
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    @pytest.mark.parametrize("seed", [0, 1234, 0xC0FFEE])
+    def test_randomized_rays(self, request, scene_fixture, seed):
+        scene = request.getfixturevalue(scene_fixture)
+        rng = np.random.default_rng(seed)
+        flat_engine = VectorEngine(scene, accel="flat")
+        px, py, pz, dx, dy, dz = _random_rays(scene, rng, 512)
+        got_i, got_t = flat_engine._intersect(px, py, pz, dx, dy, dz)
+        want_i, want_t = _linear_best(flat_engine, px, py, pz, dx, dy, dz)
+        assert got_i.tolist() == want_i.tolist()
+        assert got_t.tolist() == want_t.tolist()
+
+    @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
+    def test_axis_parallel_rays(self, request, scene_fixture):
+        """Zero direction components (inf/NaN slab lanes) stay conservative."""
+        scene = request.getfixturevalue(scene_fixture)
+        c = scene.octree.root.bounds.center()
+        axes = np.array(
+            [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]],
+            dtype=np.float64,
+        )
+        n = axes.shape[0]
+        px = np.full(n, c.x)
+        py = np.full(n, c.y)
+        pz = np.full(n, c.z)
+        dx, dy, dz = axes[:, 0].copy(), axes[:, 1].copy(), axes[:, 2].copy()
+        flat_engine = VectorEngine(scene, accel="flat")
+        got_i, got_t = flat_engine._intersect(px, py, pz, dx, dy, dz)
+        want_i, want_t = _linear_best(flat_engine, px, py, pz, dx, dy, dz)
+        assert got_i.tolist() == want_i.tolist()
+        assert got_t.tolist() == want_t.tolist()
+
+    def test_rays_outside_root_miss(self, cornell):
+        """Origins far outside the scene pointing away hit nothing."""
+        engine = VectorEngine(cornell, accel="flat")
+        n = 8
+        px = np.full(n, 1e6)
+        py = np.full(n, 1e6)
+        pz = np.full(n, 1e6)
+        dx = np.full(n, 1.0)
+        dy = np.zeros(n)
+        dz = np.zeros(n)
+        best_i, best_t = engine._intersect(px, py, pz, dx, dy, dz)
+        assert (best_i == -1).all()
+        assert np.isinf(best_t).all()
+
+
+class TestEngineIntegration:
+    """accel plumbing resolves and counts as documented."""
+
+    def test_auto_resolution_by_scene_size(self, cornell, lab_small):
+        assert VectorEngine(cornell).accel == "linear"
+        assert VectorEngine(lab_small).accel == "flat"
+
+    def test_legacy_prune_alias(self, cornell):
+        assert VectorEngine(cornell, prune=True).accel == "octree"
+        assert VectorEngine(cornell, prune=False).accel == "linear"
+        with pytest.raises(ValueError):
+            VectorEngine(cornell, accel="flat", prune=True)
+
+    def test_unknown_accel_rejected(self, cornell):
+        with pytest.raises(ValueError):
+            VectorEngine(cornell, accel="bvh")
+
+    def test_flat_walk_prunes_box_tests(self, lab_small):
+        """The flat walk must test far fewer lane-x-node slabs than the
+        per-leaf loop tests lane-x-leaf slabs (the whole point)."""
+        flat = VectorEngine(lab_small, batch_size=512, accel="flat")
+        leafy = VectorEngine(lab_small, batch_size=512, accel="octree")
+        flat.trace_range(0xAB, 0, 512)
+        leafy.trace_range(0xAB, 0, 512)
+        assert flat.box_tests < leafy.box_tests / 4

@@ -138,9 +138,9 @@ def forest_to_dict_tree(tree):
 class TestShardTracing:
     def test_shards_concatenate_to_full_range(self, cornell):
         """Sharded tracing covers each photon exactly once."""
-        whole, _ = _trace_shard(cornell, None, 4096, 0xAB, 0, 300)
-        part_a, _ = _trace_shard(cornell, None, 4096, 0xAB, 0, 120)
-        part_b, _ = _trace_shard(cornell, None, 4096, 0xAB, 120, 180)
+        whole, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 300)
+        part_a, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 120)
+        part_b, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 120, 180)
         merged = EventBatch.concat(
             [EventBatch(*part_a), EventBatch(*part_b)]
         ).sorted_canonical()
