@@ -108,6 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="process count for the vector engine (>1 uses a multiprocessing pool)",
     )
     p_sim.add_argument(
+        "--share-plane",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "scene transport for --workers > 1: 'on' publishes the compiled "
+            "scene into a zero-copy shared-memory plane that workers attach, "
+            "'off' pickles it to every worker, 'auto' picks the plane on "
+            "large scenes when the platform supports it; answers are "
+            "byte-identical either way"
+        ),
+    )
+    p_sim.add_argument(
         "--batch-size",
         type=int,
         default=4096,
@@ -141,7 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="engine used for the calibration profile",
     )
+    p_trace.add_argument(
+        "--accel",
+        choices=("auto", "flat", "octree", "linear"),
+        default="auto",
+        help=(
+            "intersection accelerator for the vector calibration profile "
+            "(ignored by --engine scalar, which always walks the pointer "
+            "octree)"
+        ),
+    )
 
+    # Usage errors discovered after parsing (config validation) should
+    # show the offending subcommand's synopsis, not the root command
+    # list — keep a handle on the subparser for the error path.
+    parser.simulate_parser = p_sim
     return parser
 
 
@@ -156,18 +182,30 @@ def _cmd_scenes(out) -> int:
     return 0
 
 
-def _cmd_simulate(args, out) -> int:
+def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
     scene = build_scene(args.scene)
-    config = SimulationConfig(
-        n_photons=args.photons,
-        seed=args.seed,
-        policy=SplitPolicy(threshold=args.sigma),
-        engine=args.engine,
-        rng_mode=args.rng,
-        batch_size=args.batch_size,
-        workers=args.workers,
-        accel=args.accel,
-    )
+    try:
+        config = SimulationConfig(
+            n_photons=args.photons,
+            seed=args.seed,
+            policy=SplitPolicy(threshold=args.sigma),
+            engine=args.engine,
+            rng_mode=args.rng,
+            batch_size=args.batch_size,
+            workers=args.workers,
+            accel=args.accel,
+            share_plane=args.share_plane,
+        )
+    except ValueError as exc:
+        # Flag combinations the config rejects (e.g. --workers without
+        # the vector engine) are usage errors, not tracebacks: report
+        # them the argparse way (usage line + message, exit code 2),
+        # against the simulate subparser so the synopsis actually shows
+        # the flags the message talks about.
+        hint = ""
+        if "requires the vector engine" in str(exc):
+            hint = " (hint: pass --engine vector to use --workers)"
+        parser.simulate_parser.error(f"{exc}{hint}")
     t0 = time.perf_counter()
     result = PhotonSimulator(scene, config).run()
     dt = time.perf_counter() - t0
@@ -223,7 +261,7 @@ def _cmd_view(args, out) -> int:
 def _cmd_trace(args, out) -> int:
     machine = platform_by_name(args.platform)
     scene = build_scene(args.scene)
-    profile = profile_scene(scene, photons=250, engine=args.engine)
+    profile = profile_scene(scene, photons=250, engine=args.engine, accel=args.accel)
     family = trace_family(
         machine, profile, sorted(set(args.ranks)), duration_s=args.duration
     )
@@ -243,11 +281,12 @@ def _cmd_trace(args, out) -> int:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "scenes":
         return _cmd_scenes(out)
     if args.command == "simulate":
-        return _cmd_simulate(args, out)
+        return _cmd_simulate(args, out, parser)
     if args.command == "view":
         return _cmd_view(args, out)
     if args.command == "trace":

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.bintree import NODE_BYTES, BinForest, SplitPolicy
-from ..core.simulator import ENGINES, TraceStats, trace_photon
+from ..core.simulator import ACCELS, ENGINES, TraceStats, trace_photon
 from ..geometry.scene import Scene
 from ..rng import Lcg48
 
@@ -94,7 +94,11 @@ class SceneProfile:
 
 
 def profile_scene(
-    scene: Scene, photons: int = 400, seed: int = 2024, engine: str = "scalar"
+    scene: Scene,
+    photons: int = 400,
+    seed: int = 2024,
+    engine: str = "scalar",
+    accel: str = "auto",
 ) -> SceneProfile:
     """Measure a :class:`SceneProfile` by tracing *photons* real photons.
 
@@ -102,16 +106,24 @@ def profile_scene(
         engine: ``"scalar"`` traces the calibration photons through the
             reference loop and reads the octree's traversal counters;
             ``"vector"`` runs the batch engine and reports its own work
-            counters (lane-x-leaf slab tests as ``nodes_per_photon``,
+            counters (lane-x-node slab tests as ``nodes_per_photon``,
             lane-x-patch plane tests as ``tests_per_photon``) — the
             honest cost profile of the batched intersector.
+        accel: Intersection accelerator the vector calibration runs
+            under (:data:`repro.core.simulator.ACCELS`).  The profile
+            must measure the accelerator users actually run — flat,
+            octree, and linear do very different amounts of slab/patch
+            work per photon.  Ignored by the scalar engine, which always
+            walks the pointer octree.
     """
     if photons < 10:
         raise ValueError("need at least 10 calibration photons")
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
+    if accel not in ACCELS:
+        raise ValueError(f"unknown accel {accel!r}; pick from {ACCELS}")
     if engine == "vector":
-        return _profile_scene_vector(scene, photons, seed)
+        return _profile_scene_vector(scene, photons, seed, accel)
     rng = Lcg48(seed)
     forest = BinForest(SplitPolicy())
     stats = TraceStats()
@@ -141,11 +153,13 @@ def profile_scene(
     )
 
 
-def _profile_scene_vector(scene: Scene, photons: int, seed: int) -> SceneProfile:
+def _profile_scene_vector(
+    scene: Scene, photons: int, seed: int, accel: str
+) -> SceneProfile:
     """Vector-engine calibration body of :func:`profile_scene`."""
     from ..core.vectorized import VectorEngine, apply_events
 
-    engine = VectorEngine(scene)
+    engine = VectorEngine(scene, accel=accel)
     forest = BinForest(SplitPolicy())
     events, _stats = engine.trace_range(seed, 0, photons)
     events = events.sorted_canonical()

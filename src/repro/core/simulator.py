@@ -60,6 +60,13 @@ RNG_MODES = ("auto", "stream", "substream")
 #: NumPy-heavy module at config time.
 ACCELS = ("auto", "flat", "octree", "linear")
 
+#: Scene-transport modes for the multi-process pool, selectable through
+#: :attr:`SimulationConfig.share_plane`: publish the compiled scene into
+#: a shared-memory plane (``"on"``), pickle it per worker (``"off"``),
+#: or let the pool decide (``"auto"`` — plane when the platform supports
+#: it and the scene is large enough to repay publishing).
+SHARE_PLANE_MODES = ("auto", "on", "off")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -92,6 +99,15 @@ class SimulationConfig:
             ``"auto"`` picks flat for large scenes, linear for small.
             Every mode yields bit-identical answers — this knob trades
             speed only.  Ignored by the scalar engine.
+        share_plane: Scene transport for multi-process runs
+            (``workers > 1``): ``"on"`` publishes the compiled scene
+            into a zero-copy shared-memory plane that workers attach
+            (:mod:`repro.parallel.shmplane`), ``"off"`` pickles the
+            scene to every worker (the legacy transport), ``"auto"``
+            picks the plane when the platform supports it and the scene
+            is large enough to repay publishing.  Answers are
+            byte-identical either way — this knob trades startup cost
+            and memory only.  Ignored when ``workers == 1``.
     """
 
     n_photons: int
@@ -103,6 +119,7 @@ class SimulationConfig:
     batch_size: int = 4096
     workers: int = 1
     accel: str = "auto"
+    share_plane: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
@@ -120,6 +137,11 @@ class SimulationConfig:
             )
         if self.accel not in ACCELS:
             raise ValueError(f"unknown accel {self.accel!r}; pick from {ACCELS}")
+        if self.share_plane not in SHARE_PLANE_MODES:
+            raise ValueError(
+                f"unknown share_plane {self.share_plane!r}; "
+                f"pick from {SHARE_PLANE_MODES}"
+            )
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.workers < 1:

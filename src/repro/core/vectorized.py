@@ -278,6 +278,68 @@ class SceneArrays:
     def patch_count(self) -> int:
         return self.p0x.size
 
+    # -- shared-memory plane export / attach ----------------------------------
+    #
+    # Everything batched kernels read is a NumPy array, so the whole
+    # structure serialises to a flat name -> array mapping.  Dotted names
+    # namespace the two composite members: ``flat.*`` is the compiled
+    # octree, ``leafpk.*`` packs the per-leaf candidate lists (a Python
+    # list of arrays) as one concatenated pool plus offsets.
+
+    def export_fields(self) -> dict:
+        """Flat name -> array mapping of every buffer the kernels read.
+
+        The export surface of :mod:`repro.parallel.shmplane`: copying
+        these arrays into a shared segment and calling
+        :meth:`from_fields` on views of it reconstructs a bit-identical
+        structure without touching the :class:`Scene` (or re-compiling
+        the octree) on the attaching side.
+        """
+        fields = {
+            name: value
+            for name, value in vars(self).items()
+            if isinstance(value, np.ndarray)
+        }
+        for name, arr in self.flat.arrays().items():
+            fields[f"flat.{name}"] = arr
+        offsets = np.zeros(len(self.leaf_patches) + 1, dtype=np.int64)
+        for i, ids in enumerate(self.leaf_patches):
+            offsets[i + 1] = offsets[i] + ids.size
+        fields["leafpk.offsets"] = offsets
+        fields["leafpk.items"] = (
+            np.concatenate(self.leaf_patches)
+            if self.leaf_patches
+            else np.empty(0, dtype=np.int64)
+        )
+        return fields
+
+    @classmethod
+    def from_fields(cls, fields: dict, total_power: float) -> "SceneArrays":
+        """Rebuild from :meth:`export_fields` output (or views onto it).
+
+        Zero-copy by construction: every attribute aliases the buffers in
+        *fields*, so attaching a shared-memory plane costs no array
+        copies and no octree compilation.  ``scene`` is ``None`` on the
+        result — batched tracing never dereferences it.
+        """
+        self = object.__new__(cls)
+        self.scene = None
+        self.total_power = total_power
+        flat_arrays = {}
+        for name, value in fields.items():
+            if name.startswith("flat."):
+                flat_arrays[name[len("flat."):]] = value
+            elif "." not in name:
+                setattr(self, name, value)
+        self.flat = FlatOctree.from_arrays(flat_arrays)
+        offsets = fields["leafpk.offsets"]
+        items = fields["leafpk.items"]
+        self.leaf_patches = [
+            items[offsets[i]:offsets[i + 1]]
+            for i in range(offsets.size - 1)
+        ]
+        return self
+
 
 @dataclass
 class EventBatch:
@@ -395,7 +457,15 @@ class VectorEngine:
     """Batched photon tracer, bit-exact with the scalar substream oracle.
 
     Args:
-        scene: Scene to trace against.
+        scene: Scene to trace against.  May be ``None`` when *arrays* is
+            given (the shared-memory plane path, where the attaching
+            process has no scene object at all).
+        arrays: Pre-built :class:`SceneArrays` — typically views into an
+            attached shared-memory plane
+            (:func:`repro.parallel.shmplane.attach`).  When given, the
+            engine skips its own (octree-compiling) :class:`SceneArrays`
+            construction and traces against the provided buffers;
+            results are bit-identical because the arrays are.
         fluorescence: Optional Stokes-shift spec (same semantics as the
             scalar :func:`repro.core.fluorescence.fluorescent_reflect`).
         batch_size: Photons per structure-of-arrays batch.
@@ -417,8 +487,9 @@ class VectorEngine:
 
     def __init__(
         self,
-        scene: Scene,
+        scene: Optional[Scene] = None,
         *,
+        arrays: Optional[SceneArrays] = None,
         fluorescence: Optional["FluorescenceSpec"] = None,
         batch_size: int = 4096,
         accel: Optional[str] = None,
@@ -434,8 +505,10 @@ class VectorEngine:
             accel = "auto"
         if accel not in ACCEL_MODES:
             raise ValueError(f"unknown accel {accel!r}; pick from {ACCEL_MODES}")
-        self.scene = scene
-        self.arrays = SceneArrays(scene)
+        if scene is None and arrays is None:
+            raise ValueError("pass a scene or pre-built SceneArrays")
+        self.scene = scene if scene is not None else arrays.scene
+        self.arrays = arrays if arrays is not None else SceneArrays(scene)
         self.fluorescence = fluorescence
         self.batch_size = batch_size
         if accel == "auto":
@@ -943,4 +1016,7 @@ class VectorEngine:
             block = self._trace_batch(config.seed, done, todo, stats)
             tally_block(forest, block, todo)
             done += todo
-        return SimulationResult(forest, stats, config, self.scene.name)
+        # An attached-plane engine has no scene object; the handle does
+        # not carry the name, only the arrays.
+        name = self.scene.name if self.scene is not None else "<attached-plane>"
+        return SimulationResult(forest, stats, config, name)

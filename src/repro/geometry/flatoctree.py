@@ -173,6 +173,27 @@ class FlatOctree:
             np.array(items, dtype=np.int64), depth,
         )
 
+    # -- export / attach ------------------------------------------------------
+
+    def arrays(self) -> dict:
+        """The compiled tree as a name -> array mapping.
+
+        This is the export surface of the shared-memory scene plane
+        (:mod:`repro.parallel.shmplane`): eleven contiguous arrays fully
+        describe the tree, so a worker can rebuild it zero-copy from
+        views into a shared segment via :meth:`from_arrays`.
+        """
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "FlatOctree":
+        """Rebuild a tree from :meth:`arrays` output (or views onto it).
+
+        No copies are made: the instance aliases whatever buffers the
+        caller passes, which is exactly what zero-copy attach needs.
+        """
+        return cls(**{name: arrays[name] for name in cls.__slots__})
+
     # -- introspection --------------------------------------------------------
 
     @property

@@ -18,13 +18,27 @@ workers and reassembles the answer in two phases:
    disjoint sections with the existing distributed-merge machinery
    (:func:`repro.parallel.distributed.merge_rank_forests`).
 
+Scene transport: the shared-memory plane
+----------------------------------------
+:class:`PhotonPool` owns a persistent pool whose initializer builds each
+worker's engine **once**.  On large scenes the parent publishes the
+compiled :class:`~repro.core.vectorized.SceneArrays` (flat octree
+included) into a shared-memory plane (:mod:`repro.parallel.shmplane`)
+and workers attach zero-copy — no per-worker scene pickle, no per-worker
+octree re-compilation, one copy of the acceleration structure in RAM no
+matter the worker count.  ``SimulationConfig.share_plane`` selects the
+transport: ``"on"``, ``"off"`` (pickle the scene, the original
+behaviour), or ``"auto"`` (plane when ``shared_memory`` exists and the
+scene is large enough to repay publishing).  Both transports carry the
+exact same bytes, so answers are identical either way.
+
 Determinism contract
 --------------------
 Because tallies replay in canonical order and ownership partitions the
 tree keys, the merged forest is **identical node-for-node** to a
 single-process vector run (and to the scalar substream oracle) for any
-worker count, batch size, or merge order — the property the determinism
-suite locks down.  Three invariants carry the proof:
+worker count, batch size, merge order, or scene transport — the property
+the determinism suite locks down.  Three invariants carry the proof:
 
 * **Substream independence** — photon *i* draws only from its private
   counter-based substream, so shard boundaries cannot change any draw.
@@ -52,16 +66,53 @@ import numpy as np
 from ..core.bintree import BinForest, SplitPolicy
 from ..core.photon import NUM_BANDS
 from ..core.simulator import SimulationConfig, SimulationResult, TraceStats
-from ..core.vectorized import EventBatch, VectorEngine, apply_events
+from ..core.vectorized import (
+    PRUNE_PATCH_THRESHOLD,
+    EventBatch,
+    SceneArrays,
+    VectorEngine,
+    apply_events,
+)
 from ..geometry.scene import Scene
 from .distributed import merge_rank_forests, rank_share
 
 __all__ = [
+    "PhotonPool",
     "run_procpool",
     "trace_events_parallel",
     "build_forest_parallel",
     "partition_patches",
+    "resolve_share_plane",
+    "PLANE_MIN_PATCHES",
 ]
+
+#: Under ``share_plane="auto"``, scenes below this patch count stay on
+#: the pickle transport: publishing a plane costs one segment round-trip
+#: that a small scene (tiny arrays, cheap octree compile) cannot repay.
+#: Same scale as the accelerator auto-threshold, and for the same
+#: reason — fixed setup cost vs. scene size.
+PLANE_MIN_PATCHES = PRUNE_PATCH_THRESHOLD
+
+
+def _shard_starts(n_photons: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, count)`` photon shards, one per worker.
+
+    The single prefix pass over :func:`rank_share` — every caller that
+    needs shard offsets uses this instead of re-summing per rank.
+    """
+    starts = []
+    offset = 0
+    for w in range(workers):
+        share = rank_share(n_photons, w, workers)
+        starts.append((offset, share))
+        offset += share
+    return starts
+
+
+def _pack_events(events: EventBatch) -> tuple:
+    """EventBatch -> plain array tuple (the pool's wire format)."""
+    return (events.gidx, events.seq, events.patch, events.s, events.t,
+            events.theta, events.r2, events.band)
 
 
 def _trace_shard(
@@ -73,17 +124,66 @@ def _trace_shard(
     start: int,
     count: int,
 ) -> tuple[tuple, TraceStats]:
-    """Pool target: trace photons ``start .. start+count`` of the budget."""
+    """Self-contained pool target: trace photons ``start .. start+count``.
+
+    Builds a throwaway engine from the pickled *scene* — the legacy
+    transport, kept for injected in-process pools (tests) and as the
+    semantics reference for the persistent-pool path below.
+    """
     engine = VectorEngine(
         scene, fluorescence=fluorescence, batch_size=batch_size, accel=accel
     )
     events, stats = engine.trace_range(seed, start, count)
-    events = events.sorted_canonical()
-    return (
-        (events.gidx, events.seq, events.patch, events.s, events.t,
-         events.theta, events.r2, events.band),
-        stats,
-    )
+    return _pack_events(events.sorted_canonical()), stats
+
+
+#: Per-process engine of a :class:`PhotonPool` worker, built once by the
+#: pool initializer (attached to the plane, or from the pickled scene).
+_POOL_ENGINE: Optional[VectorEngine] = None
+
+
+def _init_pool_worker(
+    handle,
+    scene: Optional[Scene],
+    fluorescence,
+    batch_size: int,
+    accel: str,
+    report_queue=None,
+) -> None:
+    """Pool initializer: construct this worker's engine exactly once.
+
+    With a plane *handle* the engine's arrays are zero-copy views into
+    the shared segment (*scene* is ``None`` — nothing big was pickled);
+    otherwise the worker compiles its own arrays from the pickled scene.
+    When *report_queue* is given, the worker reports ``(pid, transport)``
+    exactly once after its engine is ready — the parent's startup
+    barrier and per-worker transport census.
+    """
+    global _POOL_ENGINE
+    if handle is not None:
+        from .shmplane import attach
+
+        _POOL_ENGINE = VectorEngine(
+            arrays=attach(handle),
+            fluorescence=fluorescence,
+            batch_size=batch_size,
+            accel=accel,
+        )
+    else:
+        _POOL_ENGINE = VectorEngine(
+            scene, fluorescence=fluorescence, batch_size=batch_size, accel=accel
+        )
+    if report_queue is not None:
+        import os
+
+        transport = "plane" if _POOL_ENGINE.arrays.scene is None else "pickle"
+        report_queue.put((os.getpid(), transport))
+
+
+def _trace_shard_pooled(seed: int, start: int, count: int) -> tuple[tuple, TraceStats]:
+    """Pool target for persistent workers: trace on the initializer's engine."""
+    events, stats = _POOL_ENGINE.trace_range(seed, start, count)
+    return _pack_events(events.sorted_canonical()), stats
 
 
 @dataclass
@@ -105,34 +205,37 @@ def partition_patches(patch_ids: np.ndarray, workers: int) -> np.ndarray:
     return patch_ids % workers
 
 
-def trace_events_parallel(
-    pool, scene: Scene, config: SimulationConfig
-) -> tuple[EventBatch, TraceStats]:
-    """Phase 1: fan the photon range out over *pool*, gather sorted events."""
-    workers = config.workers
-    starts = []
-    offset = 0
-    for w in range(workers):
-        share = rank_share(config.n_photons, w, workers)
-        starts.append((offset, share))
-        offset += share
-    jobs = [
-        (scene, config.fluorescence, config.batch_size, config.accel,
-         config.seed, start, count)
-        for start, count in starts
-        if count > 0
-    ]
-    results = pool.starmap(_trace_shard, jobs)
+def _gather_shards(results) -> tuple[EventBatch, TraceStats]:
+    """Concatenate shard results (already canonically sorted per shard).
+
+    Shards cover contiguous ascending index ranges and ``starmap``
+    preserves job order, so the concatenation is already globally
+    canonical; re-sorting here would be serial parent-side overhead.
+    """
     stats = TraceStats()
     blocks = []
     for arrays, shard_stats in results:
         stats.merge(shard_stats)
         blocks.append(EventBatch(*arrays))
-    # Each shard arrives canonically sorted, shards cover contiguous
-    # ascending index ranges, and starmap preserves job order — so the
-    # concatenation is already globally canonical; re-sorting here would
-    # be serial parent-side overhead on every run.
     return EventBatch.concat(blocks), stats
+
+
+def trace_events_parallel(
+    pool, scene: Scene, config: SimulationConfig
+) -> tuple[EventBatch, TraceStats]:
+    """Phase 1 on an injected pool: ship the scene with every job.
+
+    The legacy entry point kept for pool-shaped in-process executors;
+    :class:`PhotonPool` runs the same phase against persistent workers
+    without re-shipping the scene.
+    """
+    jobs = [
+        (scene, config.fluorescence, config.batch_size, config.accel,
+         config.seed, start, count)
+        for start, count in _shard_starts(config.n_photons, config.workers)
+        if count > 0
+    ]
+    return _gather_shards(pool.starmap(_trace_shard, jobs))
 
 
 def build_forest_parallel(
@@ -145,9 +248,7 @@ def build_forest_parallel(
         rows = np.nonzero(owner == w)[0]
         if rows.size == 0:
             continue
-        sub = events.take(rows)
-        jobs.append((policy, (sub.gidx, sub.seq, sub.patch, sub.s, sub.t,
-                              sub.theta, sub.r2, sub.band)))
+        jobs.append((policy, _pack_events(events.take(rows))))
     sections: Sequence[_Section] = pool.starmap(_build_section, jobs) if jobs else []
     merged = merge_rank_forests(sections, policy)
     # Present trees in first-tally order so the merged forest serialises
@@ -158,16 +259,238 @@ def build_forest_parallel(
     return merged
 
 
+def resolve_share_plane(mode: str, scene: Scene) -> bool:
+    """Decide whether a run publishes the shared-memory plane.
+
+    ``"on"`` demands it (raising when the platform cannot), ``"off"``
+    never uses it, and ``"auto"`` picks it exactly when the platform
+    supports it and the scene clears :data:`PLANE_MIN_PATCHES`.
+    """
+    from .shmplane import plane_available
+
+    if mode == "off":
+        return False
+    if mode == "on":
+        if not plane_available():
+            raise RuntimeError(
+                "share_plane='on' but multiprocessing.shared_memory is "
+                "unavailable on this platform; use 'off' or 'auto'"
+            )
+        return True
+    if mode != "auto":
+        raise ValueError(f"unknown share_plane mode {mode!r}")
+    return plane_available() and len(scene.patches) >= PLANE_MIN_PATCHES
+
+
+class PhotonPool:
+    """A persistent worker pool with an optional shared-memory scene plane.
+
+    Publishing, worker startup, and segment cleanup happen once per pool
+    rather than once per run, so repeated :meth:`run` calls (parameter
+    sweeps, benchmarks, services) pay only tracing time.  Always use the
+    context manager (or call :meth:`close` in a ``finally``): it closes
+    **and unlinks** the plane segment even when a worker raises, which is
+    the no-leak contract the lifecycle tests enforce.
+
+    Example::
+
+        with PhotonPool(scene, config) as pool:
+            result = pool.run()
+
+    Args:
+        scene: Scene the pool serves; one plane is published for it.
+        config: Pool sizing (``workers``) and engine parameters
+            (``fluorescence``, ``batch_size``, ``accel``) come from
+            here, as does the default ``share_plane`` mode.
+        share_plane: Optional override of ``config.share_plane``.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        config: SimulationConfig,
+        share_plane: Optional[str] = None,
+    ) -> None:
+        self.scene = scene
+        self.config = config
+        self.share_plane = (
+            share_plane if share_plane is not None else config.share_plane
+        )
+        self.plane = None
+        self._pool = None
+        self._init_reports = None
+        self._transports: Optional[list[str]] = None
+        #: Transport actually chosen at :meth:`start` ("plane"/"pickle").
+        self.transport = "pickle"
+
+    def start(self) -> "PhotonPool":
+        """Publish the plane (if selected) and fork the workers."""
+        if self._pool is not None:
+            return self
+        handle = None
+        scene_arg: Optional[Scene] = self.scene
+        if resolve_share_plane(self.share_plane, self.scene):
+            from . import shmplane
+
+            try:
+                self.plane = shmplane.publish(SceneArrays(self.scene))
+            except OSError:
+                if self.share_plane == "on":
+                    raise
+                self.plane = None  # auto: fall back to pickling
+            if self.plane is not None:
+                handle = self.plane.handle
+                scene_arg = None
+                self.transport = "plane"
+        import multiprocessing as mp
+
+        config = self.config
+        ctx = mp.get_context()
+        try:
+            self._init_reports = ctx.Queue()
+            self._pool = ctx.Pool(
+                processes=config.workers,
+                initializer=_init_pool_worker,
+                initargs=(handle, scene_arg, config.fluorescence,
+                          config.batch_size, config.accel, self._init_reports),
+            )
+        except BaseException:
+            # The no-leak contract covers a failed fork too: a published
+            # segment must not outlive the pool that never started.
+            if self.plane is not None:
+                self.plane.close()
+                self.plane.unlink()
+                self.plane = None
+            raise
+        return self
+
+    def run(self, config: Optional[SimulationConfig] = None) -> SimulationResult:
+        """Run one photon budget; the result matches the serial engines.
+
+        *config* defaults to the pool's own; passing a different one
+        (other budget/seed/policy) reuses the warm workers.  Engine
+        parameters and the shard/ownership count always come from the
+        pool's construction config — the pool has exactly that many
+        workers, with engines built once at :meth:`start`.  (Answers do
+        not depend on the count either way; that is the determinism
+        contract.)  A *config* whose ``fluorescence`` differs is
+        rejected: it changes the physics, and the frozen worker engines
+        could not honour it — silently mislabelling the result is the
+        one failure mode worse than an error.
+        """
+        if self._pool is None:
+            self.start()
+        workers = self.config.workers
+        config = config if config is not None else self.config
+        if config.fluorescence != self.config.fluorescence:
+            raise ValueError(
+                "run() config changes fluorescence, but worker engines are "
+                "built once at pool start; create a new PhotonPool for a "
+                "different fluorescence spec"
+            )
+        if config.n_photons == 0:
+            return SimulationResult(
+                BinForest(config.policy), TraceStats(), config, self.scene.name
+            )
+        jobs = [
+            (config.seed, start, count)
+            for start, count in _shard_starts(config.n_photons, workers)
+            if count > 0
+        ]
+        events, stats = _gather_shards(
+            self._pool.starmap(_trace_shard_pooled, jobs)
+        )
+        forest = build_forest_parallel(
+            self._pool, events, config.policy, workers
+        )
+        return _finish_result(forest, events, stats, config, self.scene.name)
+
+    def worker_transports(self) -> list[str]:
+        """Every worker's transport, reported once from its initializer.
+
+        Blocks until all ``workers`` initializers have finished (each
+        reports exactly once), so this doubles as the startup barrier
+        the benchmarks time against.  The census is cached — the report
+        queue only ever holds one entry per worker.
+        """
+        if self._pool is None:
+            return []
+        if self._transports is None:
+            reports = [
+                self._init_reports.get(timeout=60.0)
+                for _ in range(self.config.workers)
+            ]
+            assert len({pid for pid, _ in reports}) == len(reports)
+            self._transports = [transport for _, transport in sorted(reports)]
+        return self._transports
+
+    def close(self, terminate: bool = False) -> None:
+        """Tear down workers, then close and unlink the plane (idempotent)."""
+        if self._pool is not None:
+            if terminate:
+                self._pool.terminate()
+            else:
+                self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._init_reports is not None:
+            self._init_reports.close()
+            self._init_reports = None
+            self._transports = None
+        if self.plane is not None:
+            self.plane.close()
+            self.plane.unlink()
+            self.plane = None
+        # A restart after close() re-decides the transport from scratch
+        # (an "auto" re-publish may fall back where the first one won).
+        self.transport = "pickle"
+
+    def __enter__(self) -> "PhotonPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A raising worker leaves queued tasks behind; terminate instead
+        # of draining them, but release the segment either way.
+        self.close(terminate=exc_type is not None)
+
+
+def book_emissions(forest: BinForest, events: EventBatch, n_photons: int) -> None:
+    """Set a merged forest's emission counters from the event record.
+
+    The one home of post-merge emission accounting, shared by every
+    sharded-reduction driver (the process pool and the shared-memory
+    vector path), so the booking cannot drift between them.
+    """
+    forest.photons_emitted = n_photons
+    counts = events.emission_band_counts()
+    for b in range(NUM_BANDS):
+        forest.band_emitted[b] = counts[b]
+
+
+def _finish_result(
+    forest: BinForest,
+    events: EventBatch,
+    stats: TraceStats,
+    config: SimulationConfig,
+    scene_name: str,
+) -> SimulationResult:
+    """Book emissions on the merged forest and wrap the result."""
+    book_emissions(forest, events, config.n_photons)
+    return SimulationResult(forest, stats, config, scene_name)
+
+
 def run_procpool(
     scene: Scene, config: SimulationConfig, pool=None
 ) -> SimulationResult:
     """Run *config* on a process pool; result matches the serial engines.
 
     Args:
-        scene: Scene to trace (shipped to workers by pickle).
+        scene: Scene to trace (shared-memory plane or pickle, per
+            ``config.share_plane``).
         config: Simulation parameters; ``config.workers`` sizes the pool.
         pool: Optional pre-built pool-like object exposing ``starmap``
-            (used by tests to inject an in-process executor).
+            (used by tests to inject an in-process executor; always the
+            pickle transport, since nothing forked).
     """
     if config.n_photons == 0:
         return SimulationResult(
@@ -176,16 +499,6 @@ def run_procpool(
     if pool is not None:
         events, stats = trace_events_parallel(pool, scene, config)
         forest = build_forest_parallel(pool, events, config.policy, config.workers)
-    else:
-        import multiprocessing as mp
-
-        with mp.get_context().Pool(processes=config.workers) as real_pool:
-            events, stats = trace_events_parallel(real_pool, scene, config)
-            forest = build_forest_parallel(
-                real_pool, events, config.policy, config.workers
-            )
-    forest.photons_emitted = config.n_photons
-    counts = events.emission_band_counts()
-    for b in range(NUM_BANDS):
-        forest.band_emitted[b] = counts[b]
-    return SimulationResult(forest, stats, config, scene.name)
+        return _finish_result(forest, events, stats, config, scene.name)
+    with PhotonPool(scene, config) as photon_pool:
+        return photon_pool.run()

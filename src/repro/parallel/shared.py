@@ -12,6 +12,23 @@ variant demonstrates *correctness* of the protocol (identical invariants
 to serial, no lost tallies); wall-clock speedup for the shared-memory
 chapter figures comes from the Power Onyx contention model in
 :mod:`repro.cluster`.
+
+Two engines, two disciplines:
+
+* ``engine="scalar"`` keeps the historical Figure 5.2 demonstration —
+  every tally goes through the locked forest exactly as the paper's
+  pseudo-code updates it.
+* ``engine="vector"`` drops the per-tree locks entirely in favour of a
+  **sharded reduction**: threads trace private event blocks on
+  contiguous photon-index shares, then each thread builds the bin trees
+  of the patches it *owns* (round-robin
+  :func:`repro.parallel.procpool.partition_patches` ownership) from the
+  canonical global event sequence, and the disjoint sections merge
+  lock-free via :func:`repro.parallel.distributed.merge_rank_forests` —
+  the same discipline the process pool proved.  The result is
+  node-for-node **identical to a serial vector run for any worker
+  count** (the old locked replay only guaranteed per-patch totals), and
+  ``lock_contention`` is structurally zero.
 """
 
 from __future__ import annotations
@@ -146,12 +163,13 @@ class SharedConfig:
         seed: Base RNG seed.
         policy: Bin split policy.
         engine: ``"scalar"`` traces per photon on leapfrog rank
-            substreams (the historical Figure 5.2 behaviour);
-            ``"vector"`` gives each worker a contiguous photon-index
-            share traced in NumPy batches on per-photon substreams —
-            per-patch totals are then identical for every worker count,
-            and a 1-worker run matches the serial vector engine
-            node-for-node.
+            substreams through the per-tree-locked forest (the
+            historical Figure 5.2 behaviour); ``"vector"`` gives each
+            worker a contiguous photon-index share traced in NumPy
+            batches on per-photon substreams and builds the forest
+            lock-free by ownership-sharded reduction — the whole forest
+            is then node-for-node identical to a serial vector run for
+            *every* worker count.
         batch_size: Photons per vector batch (vector engine only).
         accel: Vector-engine intersection accelerator (see
             :data:`repro.core.simulator.ACCELS`); answers are identical
@@ -208,48 +226,104 @@ def _worker(
     emitted_out[worker] = my_share
 
 
-def _worker_vector(
-    shared: SharedForest,
-    scene: Scene,
-    config: SharedConfig,
-    worker: int,
-    n_workers: int,
-    stats_out: list[TraceStats],
-    emitted_out: list[int],
-) -> None:
-    """Vector-engine worker body: batch-trace a contiguous index share.
+class _ThreadMap:
+    """A ``starmap`` executor over real threads, in job order.
 
-    Events replay through the locked forest in per-photon order (emission
-    first), so the tally protocol is exactly Figure 5.2's — only the
-    tracing between lock acquisitions is batched.
+    Lets the vector path reuse the process pool's phase-2 builder
+    (:func:`repro.parallel.procpool.build_forest_parallel`) unchanged:
+    anything pool-shaped with ``starmap`` works.  A job's exception is
+    re-raised in the caller, matching ``multiprocessing.Pool`` semantics.
     """
-    from ..core.binning import BinCoords
-    from ..core.vectorized import VectorEngine
 
-    start = sum(rank_share(config.n_photons, w, n_workers) for w in range(worker))
-    my_share = rank_share(config.n_photons, worker, n_workers)
+    def starmap(self, fn, jobs) -> list:
+        jobs = list(jobs)
+        results: list = [None] * len(jobs)
+        errors: list = [None] * len(jobs)
+
+        def call(i: int, job) -> None:
+            try:
+                results[i] = fn(*job)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[i] = exc
+
+        threads = [
+            threading.Thread(target=call, args=(i, job), daemon=True)
+            for i, job in enumerate(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+def _run_shared_vector(
+    scene: Scene, config: SharedConfig, n_workers: int
+) -> SharedResult:
+    """Vector-engine body of :func:`run_shared`: sharded, lock-free.
+
+    Phase 1 traces contiguous photon-index shares on worker threads into
+    *private* event blocks (no shared state touched while tracing).
+    Phase 2 reuses the process pool's ownership discipline: patches are
+    partitioned round-robin, each worker replays its owned rows of the
+    canonical global event sequence into a private forest, and the
+    disjoint sections merge without a single lock
+    (:func:`~repro.parallel.procpool.build_forest_parallel`, which also
+    re-keys trees into first-tally order).  The forest is therefore
+    byte-identical to a serial vector run for any worker count — and
+    ``lock_contention`` is zero by construction, not by luck.
+
+    Shard offsets come from one prefix pass over
+    :func:`~repro.parallel.distributed.rank_share` (the old per-worker
+    recomputation was O(workers^2)).
+
+    Memory trade-off, stated honestly: the ownership reduction needs the
+    full event multiset before partitioning, so peak memory scales with
+    the run's total events — the same envelope as the process pool's
+    parent — where the old locked replay streamed one ``batch_size``
+    chunk at a time into the forest.  For budgets where that matters,
+    the locked ``engine="scalar"`` path remains the streaming option.
+    """
+    from ..core.vectorized import EventBatch, VectorEngine
+    from .procpool import _shard_starts, book_emissions, build_forest_parallel
+
+    # One engine for all threads: every array trace_range reads is
+    # immutable and its tracing state is per-call, so workers share the
+    # compiled arrays — the thread-level analogue of the procpool plane.
+    # The only cross-thread writes are the patch_tests/box_tests
+    # diagnostic counters, whose unsynchronised += may undercount; the
+    # answer (events, stats) never reads them.
     engine = VectorEngine(scene, batch_size=config.batch_size, accel=config.accel)
-    stats = TraceStats()
-    # Trace and replay one batch at a time so in-flight event storage is
-    # bounded by batch_size, not the whole share; contiguous batches in
-    # index order preserve the canonical global tally order.
-    for offset in range(0, my_share, config.batch_size):
-        todo = min(config.batch_size, my_share - offset)
-        events, batch_stats = engine.trace_range(
-            config.seed, start + offset, todo
-        )
-        stats.merge(batch_stats)
-        events = events.sorted_canonical()
-        for seq, patch, s, t, theta, r2, band in zip(
-            events.seq.tolist(), events.patch.tolist(), events.s.tolist(),
-            events.t.tolist(), events.theta.tolist(), events.r2.tolist(),
-            events.band.tolist(),
-        ):
-            if seq == 0:
-                shared.record_emission(band)
-            shared.tally(patch, BinCoords(s, t, theta, r2), band)
-    stats_out[worker] = stats
-    emitted_out[worker] = my_share
+    shards = _shard_starts(config.n_photons, n_workers)
+    stats_out: list[TraceStats] = [TraceStats() for _ in range(n_workers)]
+    blocks: list[EventBatch] = [EventBatch.empty() for _ in range(n_workers)]
+
+    def trace(worker: int, start: int, count: int) -> None:
+        events, stats = engine.trace_range(config.seed, start, count)
+        blocks[worker] = events.sorted_canonical()
+        stats_out[worker] = stats
+
+    _ThreadMap().starmap(
+        trace,
+        [(w, start, count) for w, (start, count) in enumerate(shards) if count > 0],
+    )
+    # Contiguous ascending shards, concatenated in worker order: the
+    # global sequence is already canonical (photon, bounce) order.
+    events = EventBatch.concat(blocks)
+    forest = build_forest_parallel(_ThreadMap(), events, config.policy, n_workers)
+    book_emissions(forest, events, config.n_photons)
+    merged = TraceStats()
+    for s in stats_out:
+        merged.merge(s)
+    return SharedResult(
+        forest=forest,
+        stats=merged,
+        per_worker_photons=[count for _, count in shards],
+        lock_contention=0,
+    )
 
 
 def run_shared(scene: Scene, config: SharedConfig, n_workers: int) -> SharedResult:
@@ -258,19 +332,21 @@ def run_shared(scene: Scene, config: SharedConfig, n_workers: int) -> SharedResu
     With ``n_workers == 1`` and the same seed this produces a forest
     identical to :class:`repro.core.simulator.PhotonSimulator` — the
     equivalence the integration tests pin down.  Under
-    ``config.engine == "vector"`` the same holds against the vector
-    engine (and per-patch totals are worker-count invariant, since the
-    tally multiset is fixed by the per-photon substreams).
+    ``config.engine == "vector"`` the locked replay is replaced by the
+    sharded lock-free reduction of :func:`_run_shared_vector`, and the
+    forest matches the serial vector engine node-for-node for *every*
+    worker count (the golden suite pins the bytes).
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
+    if config.engine == "vector":
+        return _run_shared_vector(scene, config, n_workers)
     shared = SharedForest(config.policy)
     stats_out: list[TraceStats] = [TraceStats() for _ in range(n_workers)]
     emitted_out = [0] * n_workers
-    body = _worker_vector if config.engine == "vector" else _worker
     threads = [
         threading.Thread(
-            target=body,
+            target=_worker,
             args=(shared, scene, config, w, n_workers, stats_out, emitted_out),
             daemon=True,
         )

@@ -1,0 +1,245 @@
+"""Zero-copy shared-memory scene plane for process-pool workers.
+
+The paper's shared-memory variant (Figure 5.2) assumes every worker
+reads *one* scene and *one* bin forest in place.  The process pool
+(:mod:`repro.parallel.procpool`) gets true multi-core execution, but its
+original transport shipped the scene by pickle and re-compiled the flat
+octree inside every worker — exactly the per-worker duplication the
+shared-memory design exists to avoid, and the dominant startup cost on
+large scenes (the computer-lab flat compile walks ~28k pointer nodes).
+
+This module publishes the compiled scene — every array of
+:class:`~repro.core.vectorized.SceneArrays`, including the eleven
+:class:`~repro.geometry.flatoctree.FlatOctree` arrays and the packed
+per-leaf candidate lists — into **one named**
+``multiprocessing.shared_memory`` **segment**:
+
+* :func:`publish` lays the arrays into the segment back to back
+  (16-byte aligned) and returns a :class:`ScenePlane` that owns the
+  segment's lifecycle.
+* :attr:`ScenePlane.handle` is a :class:`PlaneHandle`: the segment name
+  plus ``(field, dtype, shape, offset)`` rows and the one non-array
+  scalar (``total_power``).  It pickles in a few kilobytes regardless of
+  scene size — that is all that ever crosses the process boundary.
+* :func:`attach` (worker side) maps the segment and rebuilds a
+  :class:`SceneArrays` whose attributes are **read-only views** into the
+  shared buffer — no copies, no octree compilation, bit-identical
+  tracing (the plane holds the exact bytes the publisher computed).
+
+Lifecycle contract
+------------------
+The publisher is the segment's owner: it must :meth:`ScenePlane.close`
+*and* :meth:`ScenePlane.unlink` when done (the context manager does
+both, including on exceptions).  Workers only ever attach; their
+mappings are cached per segment for the life of the process and torn
+down by the OS at process exit — a worker must **not** unlink.  After
+``unlink`` the name is gone: late attaches raise ``FileNotFoundError``
+and the handle is dead.  :func:`leaked_segments` scans for segments the
+publisher failed to release (tests assert it stays empty).
+
+When ``multiprocessing.shared_memory`` is unavailable (exotic platforms,
+sandboxed /dev/shm) the pool falls back to pickling the scene — see
+:func:`repro.parallel.procpool.resolve_share_plane`.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.vectorized import SceneArrays
+
+try:  # pragma: no cover — import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
+
+__all__ = [
+    "PLANE_SEGMENT_PREFIX",
+    "PlaneHandle",
+    "ScenePlane",
+    "plane_available",
+    "publish",
+    "attach",
+    "detach_all",
+    "leaked_segments",
+]
+
+#: Every plane segment name starts with this, so leak checks (tests, CI)
+#: can scan ``/dev/shm`` without false positives from other software.
+PLANE_SEGMENT_PREFIX = "photon-plane-"
+
+#: Field offsets are rounded up to this many bytes so every dtype in the
+#: plane (float64/int64/int32/bool) lands aligned.
+_ALIGN = 16
+
+
+def plane_available() -> bool:
+    """True when this platform can create shared-memory segments."""
+    return _shm is not None
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class PlaneHandle:
+    """Everything a worker needs to reattach a published plane.
+
+    Pickles as names + shapes + dtypes + offsets (a few KB), never the
+    array payload: the payload lives in the named segment.
+
+    Attributes:
+        segment: Shared-memory segment name.
+        fields: ``(name, dtype_str, shape, offset)`` per array, in the
+            exact layout :func:`publish` wrote.
+        total_power: The one scalar :class:`SceneArrays` attribute.
+        nbytes: Total segment payload size (diagnostics only).
+    """
+
+    segment: str
+    fields: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    total_power: float
+    nbytes: int
+
+
+class ScenePlane:
+    """Owner side of a published plane: the segment plus its handle.
+
+    Use as a context manager for exception-safe release::
+
+        with publish(SceneArrays(scene)) as plane:
+            pool = Pool(initializer=..., initargs=(plane.handle, ...))
+            ...
+        # segment closed AND unlinked here, error or not
+    """
+
+    def __init__(self, shm, handle: PlaneHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self.handle.segment
+
+    def close(self) -> None:
+        """Unmap the owner's view (idempotent); the segment survives."""
+        if not self._closed:
+            self._shm.close()
+            self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent); late attaches now fail."""
+        if not self._unlinked:
+            self._shm.unlink()
+            self._unlinked = True
+
+    def __enter__(self) -> "ScenePlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def publish(arrays: SceneArrays) -> ScenePlane:
+    """Copy *arrays* into a fresh named segment; returns its owner.
+
+    One segment holds the whole plane: a single name to pass around and
+    a single unlink to clean up.  Raises ``RuntimeError`` when the
+    platform has no ``shared_memory`` and ``OSError`` when the segment
+    cannot be created (full or unwritable ``/dev/shm``) — callers that
+    want the pickle fallback catch those.
+    """
+    if _shm is None:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    fields = arrays.export_fields()
+    layout: list[tuple[str, str, tuple[int, ...], int]] = []
+    offset = 0
+    for name in sorted(fields):
+        arr = np.ascontiguousarray(fields[name])
+        fields[name] = arr
+        offset = _aligned(offset)
+        layout.append((name, arr.dtype.str, tuple(arr.shape), offset))
+        offset += arr.nbytes
+    segment = f"{PLANE_SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+    shm = _shm.SharedMemory(create=True, size=max(offset, 1), name=segment)
+    for name, dtype, shape, off in layout:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+        view[...] = fields[name]
+    handle = PlaneHandle(
+        segment=segment,
+        fields=tuple(layout),
+        total_power=arrays.total_power,
+        nbytes=offset,
+    )
+    return ScenePlane(shm, handle)
+
+
+#: Worker-side attachments, one per segment name.  The SharedMemory
+#: object must outlive every view into it, so it is cached for the life
+#: of the process (the OS unmaps at exit); repeat attaches are free.
+_ATTACHED: dict[str, tuple[object, SceneArrays]] = {}
+
+
+def attach(handle: PlaneHandle) -> SceneArrays:
+    """Map *handle*'s segment and rebuild a zero-copy :class:`SceneArrays`.
+
+    Every array attribute is a **read-only** view into the shared
+    buffer (the plane is immutable by contract — a stray in-place write
+    in a kernel would corrupt every worker at once, so NumPy is told to
+    refuse it).  Attaching the same segment again returns the cached
+    instance.  Raises ``FileNotFoundError`` once the owner has unlinked.
+    """
+    if _shm is None:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached[1]
+    shm = _shm.SharedMemory(name=handle.segment)
+    views: dict[str, np.ndarray] = {}
+    for name, dtype, shape, off in handle.fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+        view.flags.writeable = False
+        views[name] = view
+    arrays = SceneArrays.from_fields(views, total_power=handle.total_power)
+    _ATTACHED[handle.segment] = (shm, arrays)
+    return arrays
+
+
+def detach_all() -> None:
+    """Drop this process's cached attachments (tests; workers never need to).
+
+    Closing invalidates the cached views, so this must only run when no
+    engine built from them is still live.
+    """
+    while _ATTACHED:
+        _, (shm, _arrays) = _ATTACHED.popitem()
+        shm.close()  # type: ignore[attr-defined]
+
+
+def leaked_segments() -> list[str]:
+    """Plane segments still registered with the OS (should be empty).
+
+    Scans ``/dev/shm`` for :data:`PLANE_SEGMENT_PREFIX` names — the
+    release-contract check tests and CI run after every pool teardown.
+    Returns ``[]`` on platforms without a scannable ``/dev/shm``.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover — non-Linux hosts
+        return []
+    return sorted(
+        name for name in os.listdir(root)
+        if name.startswith(PLANE_SEGMENT_PREFIX)
+    )

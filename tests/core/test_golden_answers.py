@@ -104,10 +104,12 @@ class TestCliGolden:
             ["--engine", "vector", "--accel", "flat"],
             ["--engine", "vector", "--workers", "2", "--batch-size", "128"],
             ["--engine", "vector", "--workers", "2", "--accel", "flat"],
+            ["--engine", "vector", "--workers", "2", "--share-plane", "on"],
         ],
         ids=[
             "scalar-substream", "vector", "vector-flat",
             "vector-procpool", "vector-procpool-flat",
+            "vector-procpool-plane",
         ],
     )
     def test_simulate_matches_golden(self, tmp_path, extra):

@@ -1,4 +1,13 @@
-"""Shared-memory Photon (Figure 5.2): lock protocol and equivalence."""
+"""Shared-memory Photon (Figure 5.2): lock protocol and equivalence.
+
+Two regimes, two guarantees.  The scalar engine demonstrates the locked
+Figure 5.2 protocol (no lost tallies, totals equal the serial replay).
+The vector engine runs the sharded lock-free reduction and therefore
+promises something stronger: the whole forest is **byte-identical** to a
+serial vector run for every worker count and accelerator — pinned here
+tally-for-tally, against the committed goldens, and with zero lock
+contention by construction.
+"""
 
 import json
 import threading
@@ -10,6 +19,7 @@ from repro.core import (
     SimulationConfig,
     SplitPolicy,
     forest_to_dict,
+    save_answer,
 )
 from repro.parallel import RWLock, SharedConfig, run_shared
 
@@ -120,3 +130,64 @@ class TestSharedRun:
     def test_config_validation(self):
         with pytest.raises(ValueError):
             SharedConfig(n_photons=-5)
+
+
+class TestSharedVector:
+    """The sharded lock-free reduction behind ``engine="vector"``."""
+
+    @pytest.fixture(scope="class")
+    def vector_reference(self, cornell):
+        config = SimulationConfig(n_photons=800, seed=0xBEEF, engine="vector")
+        return PhotonSimulator(cornell, config).run()
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    @pytest.mark.parametrize("accel", ["flat", "linear"])
+    def test_byte_identical_to_serial_vector(
+        self, cornell, vector_reference, workers, accel
+    ):
+        """Any worker count, any accelerator: the *same bytes* as the
+        serial vector engine — not merely the same per-patch totals."""
+        config = SharedConfig(
+            n_photons=800, seed=0xBEEF, engine="vector", accel=accel,
+            batch_size=128,
+        )
+        result = run_shared(cornell, config, workers)
+        assert json.dumps(forest_to_dict(result.forest)) == json.dumps(
+            forest_to_dict(vector_reference.forest)
+        )
+        assert result.stats == vector_reference.stats
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_matches_committed_golden(self, request, tmp_path, workers):
+        """The reduction lands on the committed golden answer bytes."""
+        from tests.data.regenerate import GOLDEN_PHOTONS, GOLDEN_SEED
+        from tests.core.test_golden_answers import golden_bytes
+
+        cornell = request.getfixturevalue("cornell")
+        config = SharedConfig(
+            n_photons=GOLDEN_PHOTONS, seed=GOLDEN_SEED, engine="vector"
+        )
+        result = run_shared(cornell, config, workers)
+        out = tmp_path / "shared.answer.json"
+        save_answer(result.forest, out)
+        assert out.read_bytes() == golden_bytes("cornell-box.substream.answer.json")
+
+    def test_lock_free_by_construction(self, cornell):
+        """No per-tree locks are ever taken on the vector path."""
+        config = SharedConfig(n_photons=400, seed=11, engine="vector")
+        result = run_shared(cornell, config, 4)
+        assert result.lock_contention == 0
+
+    def test_worker_shares_and_invariants(self, cornell):
+        config = SharedConfig(n_photons=401, seed=5, engine="vector")
+        result = run_shared(cornell, config, 4)
+        assert result.per_worker_photons == [101, 100, 100, 100]
+        assert result.stats.photons == 401
+        result.forest.check_invariants()
+
+    def test_zero_photons(self, cornell):
+        result = run_shared(
+            cornell, SharedConfig(n_photons=0, engine="vector"), 2
+        )
+        assert result.forest.total_tallies == 0
+        assert result.stats.photons == 0

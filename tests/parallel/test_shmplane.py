@@ -1,0 +1,255 @@
+"""Shared-memory scene plane: zero-copy attach, lifecycle, fallback.
+
+The plane's contract has three parts the tests pin down separately:
+
+* **Fidelity** — an attached :class:`SceneArrays` is view-for-view equal
+  to the published one and traces bit-identically (the golden/parity
+  suites then extend this through the pool).
+* **Lifecycle** — the handle pickles small, repeat attaches are cached,
+  the owner's close+unlink kills the name (late attaches fail), and the
+  pool releases its segment after normal exit *and* after a worker
+  exception — :func:`repro.parallel.shmplane.leaked_segments` must stay
+  empty, always.
+* **Fallback** — ``share_plane="off"`` and unavailable-platform paths
+  pickle the scene instead, producing the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PhotonSimulator,
+    SceneArrays,
+    SimulationConfig,
+    VectorEngine,
+    forest_to_dict,
+)
+from repro.parallel import shmplane
+from repro.parallel.procpool import (
+    PLANE_MIN_PATCHES,
+    PhotonPool,
+    resolve_share_plane,
+    run_procpool,
+)
+from repro.parallel.shmplane import (
+    PLANE_SEGMENT_PREFIX,
+    attach,
+    detach_all,
+    leaked_segments,
+    publish,
+)
+
+
+@pytest.fixture(autouse=True)
+def _plane_hygiene():
+    """Every test starts detached and must leak no segments."""
+    detach_all()
+    yield
+    detach_all()
+    assert leaked_segments() == []
+
+
+@pytest.fixture(scope="module")
+def cornell_arrays(request) -> SceneArrays:
+    return SceneArrays(request.getfixturevalue("cornell"))
+
+
+def _forest_bytes(forest) -> str:
+    return json.dumps(forest_to_dict(forest))
+
+
+def _arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-level equality; NaN == NaN (the gloss column is NaN-padded)."""
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a.view(np.uint8), b.view(np.uint8)))
+
+
+class TestPublishAttach:
+    def test_attached_arrays_equal_published(self, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            att = attach(plane.handle)
+            for name, value in vars(cornell_arrays).items():
+                if isinstance(value, np.ndarray):
+                    assert _arrays_equal(getattr(att, name), value), name
+            for name, value in cornell_arrays.flat.arrays().items():
+                assert _arrays_equal(getattr(att.flat, name), value), name
+            assert len(att.leaf_patches) == len(cornell_arrays.leaf_patches)
+            for a, b in zip(att.leaf_patches, cornell_arrays.leaf_patches):
+                assert np.array_equal(a, b)
+            assert att.total_power == cornell_arrays.total_power
+            assert att.patch_count == cornell_arrays.patch_count
+            assert att.scene is None
+            detach_all()
+
+    def test_attach_is_zero_copy_and_read_only(self, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            att = attach(plane.handle)
+            # Views alias the segment, they do not own copies...
+            assert not att.p0x.flags.owndata
+            assert not att.flat.first_child.flags.owndata
+            # ...and the plane is immutable by contract.
+            with pytest.raises(ValueError):
+                att.p0x[0] = 1.0
+            detach_all()
+
+    def test_repeat_attach_is_cached(self, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            first = attach(plane.handle)
+            assert attach(plane.handle) is first
+            detach_all()
+
+    def test_handle_pickles_small_and_reattaches(self, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            wire = pickle.dumps(plane.handle)
+            # Names + shapes + dtypes + offsets only — never the payload.
+            assert len(wire) < 16_384
+            assert len(wire) < plane.handle.nbytes / 4
+            att = attach(pickle.loads(wire))
+            assert np.array_equal(att.nx, cornell_arrays.nx)
+            detach_all()
+
+    def test_engine_from_attached_plane_is_bit_exact(self, cornell, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            reference = VectorEngine(cornell, accel="flat")
+            attached = VectorEngine(arrays=attach(plane.handle), accel="flat")
+            ev_ref, st_ref = reference.trace_range(0xC0FFEE, 0, 400)
+            ev_att, st_att = attached.trace_range(0xC0FFEE, 0, 400)
+            assert st_ref == st_att
+            for name in ("gidx", "seq", "patch", "s", "t", "theta", "r2", "band"):
+                assert getattr(ev_ref, name).tolist() == getattr(ev_att, name).tolist()
+            detach_all()
+
+
+class TestLifecycle:
+    def test_unlink_kills_the_name(self, cornell_arrays):
+        plane = publish(cornell_arrays)
+        handle = plane.handle
+        plane.close()
+        plane.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach(handle)
+
+    def test_close_and_unlink_are_idempotent(self, cornell_arrays):
+        plane = publish(cornell_arrays)
+        plane.close()
+        plane.close()
+        plane.unlink()
+        plane.unlink()
+
+    def test_context_manager_releases_on_exception(self, cornell_arrays):
+        with pytest.raises(RuntimeError, match="boom"):
+            with publish(cornell_arrays) as plane:
+                name = plane.name
+                assert name in leaked_segments()
+                raise RuntimeError("boom")
+        assert leaked_segments() == []
+
+    def test_segment_names_are_scannable(self, cornell_arrays):
+        with publish(cornell_arrays) as plane:
+            assert plane.name.startswith(PLANE_SEGMENT_PREFIX)
+            assert plane.name in leaked_segments()
+
+
+class TestShareResolution:
+    def test_off_never_shares(self, cornell):
+        assert resolve_share_plane("off", cornell) is False
+
+    def test_auto_skips_small_scenes(self, cornell, mini_scene):
+        # Cornell (30 patches) and the mini scene sit far below the
+        # publish-payoff threshold; pickling them is cheaper.
+        assert len(cornell.patches) < PLANE_MIN_PATCHES
+        assert resolve_share_plane("auto", cornell) is False
+        assert resolve_share_plane("auto", mini_scene) is False
+
+    def test_auto_shares_large_scenes(self, scenes):
+        lab = scenes["computer-lab"]
+        assert len(lab.patches) >= PLANE_MIN_PATCHES
+        assert resolve_share_plane("auto", lab) is True
+
+    def test_on_forces_sharing_even_when_small(self, cornell):
+        assert resolve_share_plane("on", cornell) is True
+
+    def test_unavailable_platform(self, cornell, monkeypatch):
+        monkeypatch.setattr(shmplane, "_shm", None)
+        assert resolve_share_plane("auto", cornell) is False
+        with pytest.raises(RuntimeError, match="unavailable"):
+            resolve_share_plane("on", cornell)
+
+    def test_bad_mode_rejected(self, cornell):
+        with pytest.raises(ValueError):
+            resolve_share_plane("sometimes", cornell)
+        with pytest.raises(ValueError):
+            SimulationConfig(n_photons=1, share_plane="sometimes")
+
+
+class TestPooledRuns:
+    """Real 2-process pools: both transports, same bytes, no leaks."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, cornell):
+        config = SimulationConfig(n_photons=600, seed=0xC0FFEE, engine="vector")
+        return PhotonSimulator(cornell, config).run()
+
+    @pytest.mark.parametrize("share_plane", ["on", "off"])
+    def test_transports_agree_byte_for_byte(self, cornell, reference, share_plane):
+        config = SimulationConfig(
+            n_photons=600, seed=0xC0FFEE, engine="vector",
+            workers=2, share_plane=share_plane,
+        )
+        with PhotonPool(cornell, config) as pool:
+            expected = "plane" if share_plane == "on" else "pickle"
+            assert pool.transport == expected
+            assert set(pool.worker_transports()) == {expected}
+            result = pool.run()
+        assert result.stats == reference.stats
+        assert _forest_bytes(result.forest) == _forest_bytes(reference.forest)
+        assert leaked_segments() == []
+
+    def test_pool_reuse_across_runs(self, cornell, reference):
+        """A persistent pool serves several budgets without re-publishing."""
+        config = SimulationConfig(
+            n_photons=600, seed=0xC0FFEE, engine="vector",
+            workers=2, share_plane="on",
+        )
+        with PhotonPool(cornell, config) as pool:
+            first = pool.run()
+            again = pool.run()
+            assert _forest_bytes(first.forest) == _forest_bytes(again.forest)
+            other = pool.run(
+                SimulationConfig(
+                    n_photons=150, seed=0xBEEF, engine="vector", workers=2
+                )
+            )
+            assert other.stats.photons == 150
+        assert _forest_bytes(first.forest) == _forest_bytes(reference.forest)
+        assert leaked_segments() == []
+
+    def test_worker_exception_releases_segment(self, cornell):
+        config = SimulationConfig(
+            n_photons=100, seed=1, engine="vector", workers=2, share_plane="on"
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            with PhotonPool(cornell, config) as pool:
+                assert leaked_segments() != []
+                pool._pool.apply(_boom)
+        assert leaked_segments() == []
+
+    def test_run_procpool_share_plane_off_matches(self, cornell, reference):
+        config = SimulationConfig(
+            n_photons=600, seed=0xC0FFEE, engine="vector",
+            workers=2, share_plane="off",
+        )
+        result = run_procpool(cornell, config)
+        assert _forest_bytes(result.forest) == _forest_bytes(reference.forest)
+        assert leaked_segments() == []
+
+
+def _boom() -> None:
+    """Pool target that always fails (worker-exception lifecycle test)."""
+    raise RuntimeError("boom")

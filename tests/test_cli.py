@@ -26,6 +26,45 @@ class TestParser:
         )
         assert args.seed == 0xBEEF
 
+    def test_share_plane_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "s", "--share-plane", "on", "--out", "x.json"]
+        )
+        assert args.share_plane == "on"
+        # Default keeps the pool free to pick the transport.
+        args = build_parser().parse_args(["simulate", "s", "--out", "x.json"])
+        assert args.share_plane == "auto"
+
+    def test_trace_accel_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "s", "--engine", "vector", "--accel", "linear"]
+        )
+        assert args.accel == "linear"
+
+
+class TestSimulateUsageErrors:
+    """Config rejections surface as argparse usage errors, not tracebacks."""
+
+    def test_workers_without_vector_engine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "cornell-box", "--photons", "10",
+                 "--workers", "4", "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "--engine vector" in err  # the actionable hint
+
+    def test_vector_with_stream_rng_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "cornell-box", "--photons", "10",
+                 "--engine", "vector", "--rng", "stream", "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        assert "substream" in capsys.readouterr().err
+
 
 class TestScenesCommand:
     def test_lists_all(self):
