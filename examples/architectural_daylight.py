@@ -22,13 +22,8 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.core import (
-    Camera,
-    PhotonSimulator,
-    RadianceField,
-    SimulationConfig,
-)
-from repro.core.viewing import render
+from repro.api import Camera, RenderSession, SimulateRequest
+from repro.core import RadianceField
 from repro.geometry import Ray, Vec3
 from repro.image import save_radiance_ppm
 from repro.raytrace import WhittedConfig, render_whitted
@@ -86,25 +81,31 @@ def main() -> None:
         )
         print(f"  {lum.patch.name:20s} power {lum.power:8.1f}  {kind}")
 
-    result = PhotonSimulator(scene, SimulationConfig(n_photons=args.photons)).run()
-    field = RadianceField(scene, result.forest)
-    print(
-        f"\nsimulated {args.photons:,} photons; "
-        f"{result.forest.leaf_count:,} bins; mean bounces {result.stats.mean_bounces:.2f}"
-    )
+    session = RenderSession(scene)
+    with session:
+        result = session.simulate(SimulateRequest(n_photons=args.photons))
+        field = RadianceField(scene, result.forest)
+        print(
+            f"\nsimulated {args.photons:,} photons; "
+            f"{result.forest.leaf_count:,} bins; mean bounces {result.stats.mean_bounces:.2f}"
+        )
 
-    # Shadow-edge study: skylight pool edge on open floor (occluder =
-    # skylight frame, ~2 m above) vs the harpsichord leg's shadow
-    # (occluder a few cm above the floor).
-    pool_profile = floor_irradiance_profile(scene, field, z=2.0, x_range=(0.2, 2.4))
-    leg_profile = floor_irradiance_profile(scene, field, z=1.7, x_range=(1.45, 1.95))
-    pool_edge = edge_width(pool_profile)
-    leg_edge = edge_width(leg_profile)
-    print(f"\nskylight pool edge width (distant occluder): {pool_edge:.3f} m (fuzzy)")
-    print(f"harpsichord leg shadow edge (near occluder):  {leg_edge:.3f} m (sharp)")
+        # Shadow-edge study: skylight pool edge on open floor (occluder =
+        # skylight frame, ~2 m above) vs the harpsichord leg's shadow
+        # (occluder a few cm above the floor).
+        pool_profile = floor_irradiance_profile(scene, field, z=2.0, x_range=(0.2, 2.4))
+        leg_profile = floor_irradiance_profile(scene, field, z=1.7, x_range=(1.45, 1.95))
+        pool_edge = edge_width(pool_profile)
+        leg_edge = edge_width(leg_profile)
+        print(f"\nskylight pool edge width (distant occluder): {pool_edge:.3f} m (fuzzy)")
+        print(f"harpsichord leg shadow edge (near occluder):  {leg_edge:.3f} m (sharp)")
 
-    camera = Camera(width=160, height=120, **HARPSICHORD_DEFAULT_CAMERA)
-    save_radiance_ppm(render(scene, field, camera), args.out_dir / "harpsichord_photon.ppm")
+        # The scene carries its default view; Photon image via the
+        # session, Whitted comparison via the baseline renderer.
+        camera = Camera(width=160, height=120, **HARPSICHORD_DEFAULT_CAMERA)
+        save_radiance_ppm(
+            session.render(result, camera), args.out_dir / "harpsichord_photon.ppm"
+        )
     save_radiance_ppm(
         render_whitted(scene, camera, WhittedConfig()),
         args.out_dir / "harpsichord_whitted.ppm",

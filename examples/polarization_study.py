@@ -21,10 +21,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import (
-    PhotonSimulator,
-    SimulationConfig,
-)
+from repro.api import RenderSession, SimulateRequest
 from repro.core.fluorescence import FluorescenceSpec, fluorescent_reflect
 from repro.core.generation import emit_photon
 from repro.core.polarization import PolarizedPhoton, polarized_reflect
@@ -119,6 +116,20 @@ def fluorescence_study(photons: int) -> None:
     print(
         "\nall emission was blue, yet the poster departs green light: "
         "the Stokes-shift down-conversion at work."
+    )
+
+    # The same physics through the public session API: fluorescence is a
+    # per-request knob, so one warm session serves both the plain and the
+    # fluorescent request without recompiling the scene.
+    with RenderSession(scene) as session:
+        plain = session.simulate(SimulateRequest(n_photons=photons))
+        fluor = session.simulate(
+            SimulateRequest(n_photons=photons, fluorescence=spec)
+        )
+    print(
+        f"\nsession check — green tallies without fluorescence: "
+        f"{plain.forest.band_tallies[1]:,}; with: "
+        f"{fluor.forest.band_tallies[1]:,}"
     )
 
 

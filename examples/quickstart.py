@@ -1,26 +1,28 @@
 #!/usr/bin/env python
-"""Quickstart: simulate the Cornell box, save the answer, render two views.
+"""Quickstart: one RenderSession, repeated simulate/view requests.
 
-This walks the full Photon pipeline of the paper (Figure 4.9): a Monte
-Carlo light-transport *simulation* stage that builds the 4-D histogram
-answer, then a cheap single-bounce *viewing* stage that can be repeated
-from any viewpoint without re-simulating (Figure 4.10).
+This walks the full Photon pipeline of the paper (Figure 4.9) through
+the public session API (``repro.api``): a Monte Carlo light-transport
+*simulation* stage that builds the 4-D histogram answer, then a cheap
+single-bounce *viewing* stage that can be repeated from any viewpoint
+without re-simulating (Figure 4.10).
 
-Engines
--------
-Three interchangeable ways to run the simulation stage, all producing
-bit-identical answer files under per-photon substream RNG:
+The session is the paper's architecture made explicit: a long-lived
+simulation program serving many requests.  The scene is compiled once
+into a :class:`repro.api.SceneProgram` (patch arrays + flattened
+octree); every ``session.simulate(request)`` after the first reuses the
+warm engine, and every ``session.render`` reads the same answer.
+
+Engines (``SessionOptions``), all producing bit-identical answer files
+under per-photon substream RNG:
 
 * ``--engine scalar`` — the per-photon reference loop (the correctness
   oracle; ~10k photons/s on the Cornell box).
 * ``--engine vector`` — the NumPy batch engine: photons traced in
-  structure-of-arrays batches (typically 5-8x faster).  On large scenes
-  intersection runs through the flattened array-encoded octree
-  (``repro.geometry.flatoctree``; ``repro simulate --accel`` selects a
-  mode explicitly).
-* ``--engine vector --workers N`` — batches sharded across a
-  multiprocessing pool; on a multi-core machine this multiplies the
-  vector rate again.
+  structure-of-arrays batches (typically 5-8x faster) through the
+  flattened array-encoded octree on large scenes.
+* ``--engine vector --workers N`` — batches sharded across a persistent
+  multiprocessing pool that stays warm across requests.
 
 Run:
     python examples/quickstart.py [--photons 20000] [--out-dir .]
@@ -34,18 +36,16 @@ import argparse
 import time
 from pathlib import Path
 
-from repro.core import (
+from repro.api import (
     Camera,
-    PhotonSimulator,
-    RadianceField,
-    SimulationConfig,
-    load_answer,
-    save_answer,
+    RenderSession,
+    SessionOptions,
+    SimulateRequest,
 )
-from repro.core.viewing import render
+from repro.core import load_answer, save_answer
 from repro.geometry import Vec3
 from repro.image import save_radiance_ppm
-from repro.scenes import CORNELL_DEFAULT_CAMERA, cornell_box
+from repro.scenes import cornell_box
 
 
 def main() -> None:
@@ -70,52 +70,63 @@ def main() -> None:
         compare_engines(scene, args.photons)
         return
 
-    # --- Simulation stage -------------------------------------------------
-    config = SimulationConfig(
-        n_photons=args.photons, engine=args.engine, workers=args.workers
-    )
-    t0 = time.perf_counter()
-    result = PhotonSimulator(scene, config).run()
-    dt = time.perf_counter() - t0
+    options = SessionOptions(engine=args.engine, workers=args.workers)
+    request = SimulateRequest(n_photons=args.photons)
     label = args.engine + (f" x{args.workers} procs" if args.workers > 1 else "")
-    print(
-        f"simulated {args.photons:,} photons in {dt:.1f}s "
-        f"({args.photons / dt:,.0f} photons/s, {label})"
-    )
-    print(
-        f"answer: {result.forest.leaf_count:,} view-dependent bins, "
-        f"{result.forest.total_tallies:,} tallies, "
-        f"{result.forest.memory_bytes() / 1024:.0f} KB, "
-        f"mean bounces {result.stats.mean_bounces:.2f}"
-    )
-    result.forest.check_invariants()
 
-    answer_path = args.out_dir / "cornell.answer.json"
-    save_answer(result.forest, answer_path)
-    print(f"answer file written: {answer_path}")
-
-    # --- Viewing stage (twice, same answer file) --------------------------
-    forest = load_answer(answer_path)
-    field = RadianceField(scene, forest)
-
-    views = {
-        "cornell_front.ppm": Camera(
-            width=args.width, height=args.height, **CORNELL_DEFAULT_CAMERA
-        ),
-        "cornell_left.ppm": Camera(
-            position=Vec3(0.35, 1.5, 3.7),
-            look_at=Vec3(1.3, 0.7, 0.4),
-            width=args.width,
-            height=args.height,
-            vertical_fov_degrees=42.0,
-        ),
-    }
-    for name, camera in views.items():
+    with RenderSession(scene, options) as session:
+        # --- Simulation stage (request #1 pays compile + spawn) -----------
         t0 = time.perf_counter()
-        image = render(scene, field, camera)
-        out = args.out_dir / name
-        save_radiance_ppm(image, out)
-        print(f"rendered {out} in {time.perf_counter() - t0:.1f}s (no re-simulation)")
+        result = session.simulate(request)
+        dt = time.perf_counter() - t0
+        print(
+            f"simulated {args.photons:,} photons in {dt:.1f}s "
+            f"({args.photons / dt:,.0f} photons/s, {label})"
+        )
+        print(
+            f"answer: {result.forest.leaf_count:,} view-dependent bins, "
+            f"{result.forest.total_tallies:,} tallies, "
+            f"{result.forest.memory_bytes() / 1024:.0f} KB, "
+            f"mean bounces {result.stats.mean_bounces:.2f}"
+        )
+        result.forest.check_invariants()
+
+        # A second request on the warm session skips all setup.
+        t0 = time.perf_counter()
+        session.simulate(SimulateRequest(n_photons=args.photons, seed=0xFEED))
+        print(
+            f"warm request #2 (different seed): "
+            f"{time.perf_counter() - t0:.1f}s — no recompile, no respawn"
+        )
+
+        answer_path = args.out_dir / "cornell.answer.json"
+        save_answer(result.forest, answer_path)
+        print(f"answer file written: {answer_path}")
+
+        # --- Viewing stage (twice, same answer file) ----------------------
+        forest = load_answer(answer_path)
+        views = {
+            # None = the camera registered with the scene itself.
+            "cornell_front.ppm": None,
+            "cornell_left.ppm": Camera(
+                position=Vec3(0.35, 1.5, 3.7),
+                look_at=Vec3(1.3, 0.7, 0.4),
+                width=args.width,
+                height=args.height,
+                vertical_fov_degrees=42.0,
+            ),
+        }
+        for name, camera in views.items():
+            t0 = time.perf_counter()
+            image = session.render(
+                forest, camera, width=args.width, height=args.height
+            )
+            out = args.out_dir / name
+            save_radiance_ppm(image, out)
+            print(
+                f"rendered {out} in {time.perf_counter() - t0:.1f}s "
+                "(no re-simulation)"
+            )
 
 
 def compare_engines(scene, photons: int) -> None:
@@ -124,13 +135,12 @@ def compare_engines(scene, photons: int) -> None:
 
     rates = {}
     forests = {}
+    request = SimulateRequest(n_photons=photons, rng_mode="substream")
     for engine in ("scalar", "vector"):
-        config = SimulationConfig(
-            n_photons=photons, engine=engine, rng_mode="substream"
-        )
-        t0 = time.perf_counter()
-        result = PhotonSimulator(scene, config).run()
-        dt = time.perf_counter() - t0
+        with RenderSession(scene, SessionOptions(engine=engine)) as session:
+            t0 = time.perf_counter()
+            result = session.simulate(request)
+            dt = time.perf_counter() - t0
         rates[engine] = photons / dt
         forests[engine] = forest_to_dict(result.forest)
         print(f"{engine:>7s}: {rates[engine]:>10,.0f} photons/s ({dt:.2f}s)")

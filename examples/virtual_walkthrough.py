@@ -18,8 +18,7 @@ import math
 import time
 from pathlib import Path
 
-from repro.core import Camera, PhotonSimulator, RadianceField, SimulationConfig
-from repro.core.viewing import render
+from repro.api import Camera, RenderSession, SimulateRequest
 from repro.geometry import Vec3
 from repro.image import save_radiance_ppm
 from repro.scenes import cornell_box
@@ -33,35 +32,36 @@ def main() -> None:
     parser.add_argument("--size", type=int, default=96)
     args = parser.parse_args()
 
-    scene = cornell_box()
-
-    t0 = time.perf_counter()
-    result = PhotonSimulator(scene, SimulationConfig(n_photons=args.photons)).run()
-    t_sim = time.perf_counter() - t0
-    field = RadianceField(scene, result.forest)
-    print(f"one-time simulation: {t_sim:.1f}s for {args.photons:,} photons")
-
-    # Camera path: an arc outside the open front, always looking at the
-    # mirror.  Every frame reads the same answer.
-    target = Vec3(1.0, 1.0, 0.55)
-    t_frames = 0.0
-    for frame in range(args.frames):
-        angle = math.radians(-35.0 + 70.0 * frame / max(args.frames - 1, 1))
-        position = Vec3(1.0 + 2.9 * math.sin(angle), 1.0 + 0.3 * math.sin(angle * 2), 2.0 + 2.0 * math.cos(angle))
-        camera = Camera(
-            position=position,
-            look_at=target,
-            width=args.size,
-            height=args.size * 3 // 4,
-            vertical_fov_degrees=45.0,
-        )
+    # One session serves the whole walkthrough: simulate once, then
+    # answer a viewing request per frame — the paper's simulate/view
+    # split as a single warm object.
+    with RenderSession(cornell_box()) as session:
         t0 = time.perf_counter()
-        image = render(scene, field, camera)
-        dt = time.perf_counter() - t0
-        t_frames += dt
-        out = args.out_dir / f"walkthrough_{frame:02d}.ppm"
-        save_radiance_ppm(image, out)
-        print(f"frame {frame:2d}: {out} ({dt:.2f}s view pass)")
+        result = session.simulate(SimulateRequest(n_photons=args.photons))
+        t_sim = time.perf_counter() - t0
+        print(f"one-time simulation: {t_sim:.1f}s for {args.photons:,} photons")
+
+        # Camera path: an arc outside the open front, always looking at
+        # the mirror.  Every frame reads the same answer.
+        target = Vec3(1.0, 1.0, 0.55)
+        t_frames = 0.0
+        for frame in range(args.frames):
+            angle = math.radians(-35.0 + 70.0 * frame / max(args.frames - 1, 1))
+            position = Vec3(1.0 + 2.9 * math.sin(angle), 1.0 + 0.3 * math.sin(angle * 2), 2.0 + 2.0 * math.cos(angle))
+            camera = Camera(
+                position=position,
+                look_at=target,
+                width=args.size,
+                height=args.size * 3 // 4,
+                vertical_fov_degrees=45.0,
+            )
+            t0 = time.perf_counter()
+            image = session.render(result, camera)
+            dt = time.perf_counter() - t0
+            t_frames += dt
+            out = args.out_dir / f"walkthrough_{frame:02d}.ppm"
+            save_radiance_ppm(image, out)
+            print(f"frame {frame:2d}: {out} ({dt:.2f}s view pass)")
 
     per_frame = t_frames / args.frames
     print(

@@ -7,14 +7,14 @@ parallelizations, the cluster cost models used to reproduce the paper's
 speedup studies, and the chapter-2 baseline algorithms (Whitted ray
 tracing and matrix/hierarchical radiosity).
 
-Quick start::
+Quick start (the stable public surface is :mod:`repro.api` — a scene
+compiled once, served by a persistent session)::
 
-    from repro.core import PhotonSimulator, SimulationConfig, RadianceField
-    from repro.scenes import cornell_box
+    from repro.api import RenderSession, SimulateRequest
 
-    scene = cornell_box()
-    result = PhotonSimulator(scene, SimulationConfig(n_photons=20_000)).run()
-    field = RadianceField(scene, result.forest)
+    with RenderSession("cornell-box") as session:
+        result = session.simulate(SimulateRequest(n_photons=20_000))
+        image = session.render(result)  # the scene's registered view
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.

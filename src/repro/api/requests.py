@@ -1,0 +1,185 @@
+"""The request/session parameter split of the public API.
+
+The legacy :class:`~repro.core.simulator.SimulationConfig` mixed two
+very different kinds of knob: *what to simulate* (photons, seed, split
+policy, fluorescence, RNG discipline — different on every request) and
+*how the serving process is provisioned* (engine, accelerator, worker
+count, batch size, scene transport — fixed for the lifetime of a warm
+session).  The paper's architecture is a long-lived simulation program
+answering many requests, so the public API separates them:
+
+* :class:`SimulateRequest` — frozen, hashable, per-call.  Two equal
+  requests on the same session produce byte-identical answers; being
+  hashable makes requests usable as cache keys by result-caching
+  frontends.
+* :class:`SessionOptions` — frozen, hashable, per-session.  Changing
+  any of these means provisioning different resources (another engine,
+  another pool), which is exactly what a new
+  :class:`~repro.api.RenderSession` does.
+
+:func:`merge_config` recombines a (request, options) pair into the
+legacy :class:`SimulationConfig` — the internal wire format carried by
+:class:`~repro.core.simulator.SimulationResult` and validated by the
+same rules as ever, so the split cannot drift from the one-shot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from ..core.bintree import SplitPolicy
+from ..core.simulator import (
+    ACCELS,
+    ENGINES,
+    RNG_MODES,
+    SHARE_PLANE_MODES,
+    SimulationConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..core.fluorescence import FluorescenceSpec
+
+__all__ = ["SimulateRequest", "SessionOptions", "merge_config", "split_config"]
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One simulation request: everything that may change per call.
+
+    Frozen and hashable by design — a request is a value, safe to log,
+    deduplicate, or use as a cache key.  Validation matches the legacy
+    :class:`~repro.core.simulator.SimulationConfig` exactly (the pair is
+    recombined through it by :func:`merge_config`).
+
+    Attributes:
+        n_photons: Photons to emit for this request.
+        seed: Base RNG seed; photon *i* derives its private substream
+            from it, so equal seeds give byte-identical answers on any
+            engine/worker/batch configuration.
+        policy: Bin-splitting policy (3-sigma by default).
+        fluorescence: Optional Stokes-shift conversion spec; ``None``
+            disables it.
+        rng_mode: ``"stream"`` | ``"substream"`` | ``"auto"`` (resolved
+            against the session's engine, exactly as the legacy config).
+    """
+
+    n_photons: int
+    seed: int = 0x1234ABCD330E
+    policy: SplitPolicy = field(default_factory=SplitPolicy)
+    fluorescence: Optional["FluorescenceSpec"] = None
+    rng_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.n_photons < 0:
+            raise ValueError("n_photons must be non-negative")
+        if self.rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"unknown rng_mode {self.rng_mode!r}; pick from {RNG_MODES}"
+            )
+
+
+@dataclass(frozen=True)
+class SessionOptions:
+    """How a :class:`~repro.api.RenderSession` is provisioned.
+
+    Frozen and hashable: these knobs size the resources a session keeps
+    warm between requests, so they cannot change mid-session.  Every
+    combination produces byte-identical answers for equal requests —
+    options trade speed and memory only (the determinism contract the
+    parity and golden suites lock down).
+
+    Attributes:
+        engine: ``"vector"`` (the NumPy batch engine, the production
+            default) or ``"scalar"`` (the per-photon reference loop).
+        accel: Vector-engine intersection accelerator
+            (:data:`repro.core.simulator.ACCELS`).
+        workers: Process count; > 1 keeps a persistent
+            :class:`~repro.parallel.procpool.PhotonPool` warm across
+            requests.
+        batch_size: Photons per structure-of-arrays batch, and the
+            default chunk size of
+            :meth:`~repro.api.RenderSession.simulate_stream`.
+        share_plane: Scene transport for multi-process sessions
+            (:data:`repro.core.simulator.SHARE_PLANE_MODES`); plane
+            segments are shared across sessions through
+            :func:`repro.parallel.shmplane.plane_registry`.
+    """
+
+    engine: str = "vector"
+    accel: str = "auto"
+    workers: int = 1
+    batch_size: int = 4096
+    share_plane: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; pick from {ENGINES}")
+        if self.accel not in ACCELS:
+            raise ValueError(f"unknown accel {self.accel!r}; pick from {ACCELS}")
+        if self.share_plane not in SHARE_PLANE_MODES:
+            raise ValueError(
+                f"unknown share_plane {self.share_plane!r}; "
+                f"pick from {SHARE_PLANE_MODES}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.workers > 1 and self.engine != "vector":
+            raise ValueError(
+                "workers > 1 requires the vector engine (the scalar loop "
+                "would silently ignore the pool); pass engine='vector'"
+            )
+
+
+def merge_config(
+    request: SimulateRequest, options: SessionOptions
+) -> SimulationConfig:
+    """Recombine a request/options pair into the legacy config.
+
+    The result is what :class:`~repro.core.simulator.SimulationResult`
+    carries as ``result.config`` — and constructing it runs the full
+    legacy validation, so cross-field rules (vector forbids stream RNG,
+    workers require the vector engine) hold identically on both API
+    surfaces.
+    """
+    return SimulationConfig(
+        n_photons=request.n_photons,
+        seed=request.seed,
+        policy=request.policy,
+        fluorescence=request.fluorescence,
+        rng_mode=request.rng_mode,
+        engine=options.engine,
+        accel=options.accel,
+        workers=options.workers,
+        batch_size=options.batch_size,
+        share_plane=options.share_plane,
+    )
+
+
+def split_config(
+    config: SimulationConfig,
+) -> tuple[SimulateRequest, SessionOptions]:
+    """Split a legacy config into its (request, options) halves.
+
+    The migration helper behind the deprecation shims: the one-shot
+    :class:`~repro.core.simulator.PhotonSimulator` builds a session from
+    the options half and simulates the request half, reproducing the
+    legacy behaviour byte-for-byte.
+    """
+    request = SimulateRequest(
+        n_photons=config.n_photons,
+        seed=config.seed,
+        policy=config.policy,
+        fluorescence=config.fluorescence,
+        rng_mode=config.rng_mode,
+    )
+    options = SessionOptions(
+        engine=config.engine,
+        accel=config.accel,
+        workers=config.workers,
+        batch_size=config.batch_size,
+        share_plane=config.share_plane,
+    )
+    return request, options

@@ -1,0 +1,405 @@
+"""``RenderSession``: a persistent serving loop over one compiled scene.
+
+The paper's architecture is a long-lived *simulation program* that
+answers many *viewing requests*; the legacy one-shot API inverted that
+by paying scene compilation, plane publication, and worker spawn on
+every call.  A :class:`RenderSession` owns those resources for its
+lifetime and serves any number of requests against them:
+
+* :meth:`simulate` — run one :class:`~repro.api.SimulateRequest` to a
+  full :class:`~repro.core.simulator.SimulationResult`.
+* :meth:`simulate_stream` — the same budget, yielded as cumulative
+  results per chunk (progress bars, early convergence checks); the
+  final yield is byte-identical to :meth:`simulate`.
+* :meth:`render` — the viewing stage: any answer (result, forest, or
+  loaded answer file) rendered from any camera, defaulting to the
+  scene's registered view.
+* :meth:`profile` — the calibration profile of
+  :func:`repro.cluster.workload.profile_scene`, measured on the
+  session's engine without recompiling the scene.
+
+Warm-path contract (pinned by ``benchmarks/test_shmplane.py``): request
+#2 on a session performs **zero** scene recompiles, **zero** plane
+publishes, and **zero** worker spawns — only tracing.  Multi-process
+sessions share one published plane per program across all the serving
+process's concurrent sessions
+(:func:`repro.parallel.shmplane.plane_registry`).
+
+Determinism contract: for equal requests, every session configuration —
+engine, accelerator, worker count, batch size, transport, streamed or
+one-shot — produces byte-identical answers, and all of them equal the
+legacy ``PhotonSimulator`` output (the golden suite holds both surfaces
+to the same committed bytes).
+
+Sessions are context managers; always ``with`` them (or call
+:meth:`close` in a ``finally``) so pools shut down and plane refcounts
+release even when a request raises.  A session serves one request at a
+time — share the :class:`~repro.api.SceneProgram`, not the session,
+across threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from ..core.bintree import BinForest
+from ..core.simulator import (
+    SimulationConfig,
+    SimulationResult,
+    TraceStats,
+    _scalar_photon_streams,
+    _scalar_trace_one,
+)
+from ..geometry.scene import Scene
+from .program import SceneProgram
+from .requests import SessionOptions, SimulateRequest, merge_config
+
+__all__ = ["RenderSession", "open_session"]
+
+#: Sentinel distinguishing "no pool yet" from "pool for fluorescence=None".
+_NO_POOL = object()
+
+
+class RenderSession:
+    """A warm serving context: one compiled scene, many requests.
+
+    Args:
+        program: The scene to serve — a :class:`Scene`, a pre-compiled
+            :class:`SceneProgram`, or a registered scene name
+            (:func:`repro.scenes.build_scene`).  Scenes are compiled
+            through the process-wide program cache, so two sessions on
+            the same scene object share one compilation.
+        options: Session provisioning (:class:`SessionOptions`);
+            defaults to a single-process vector session.
+
+    Example::
+
+        from repro.api import RenderSession, SimulateRequest
+
+        with RenderSession("cornell-box") as session:
+            result = session.simulate(SimulateRequest(n_photons=20_000))
+            image = session.render(result)          # default camera
+            more = session.simulate(SimulateRequest(n_photons=20_000, seed=7))
+
+    Attributes:
+        program: The compiled :class:`SceneProgram` being served.
+        options: The session's :class:`SessionOptions`.
+        requests_served: Completed :meth:`simulate`/:meth:`simulate_stream`
+            request count (diagnostics; the warm-path benchmark reads it).
+    """
+
+    def __init__(
+        self,
+        program: Union[Scene, SceneProgram, str],
+        options: Optional[SessionOptions] = None,
+    ) -> None:
+        if isinstance(program, str):
+            from ..scenes import build_scene
+
+            program = build_scene(program)
+        if isinstance(program, Scene):
+            # Lazy compile: a scalar session never needs the arrays.
+            program = SceneProgram.compile(program, eager=False)
+        self.program = program
+        self.options = options if options is not None else SessionOptions()
+        self.requests_served = 0
+        self._engines: dict = {}  # fluorescence spec -> warm VectorEngine
+        self._pool = None
+        self._pool_fluorescence = _NO_POOL
+        self._holds_plane = False
+        self._plane_handle = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def scene(self) -> Scene:
+        """The scene this session serves."""
+        return self.program.scene
+
+    def close(self) -> None:
+        """Release every owned resource (idempotent).
+
+        Shuts the worker pool down and drops this session's reference on
+        the program's shared plane; the registry unlinks the segment
+        when the last session on the program releases.  Serving after
+        close raises ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._engines.clear()
+        try:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+                self._pool_fluorescence = _NO_POOL
+        finally:
+            if self._holds_plane:
+                self._holds_plane = False
+                self._plane_handle = None
+                self.program.release_plane()
+
+    def __enter__(self) -> "RenderSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this RenderSession is closed; open a new one")
+
+    # -- resource provisioning (compile/publish/spawn happen here, once) ---
+
+    def _engine_for(self, fluorescence) -> "object":
+        """The warm single-process vector engine for *fluorescence*.
+
+        Engines are cached per fluorescence spec; every one traces
+        against the program's shared compiled arrays, so a cache miss
+        costs only the (tiny) per-engine table setup, never a scene
+        recompile.
+        """
+        engine = self._engines.get(fluorescence)
+        if engine is None:
+            from ..core.vectorized import VectorEngine
+
+            engine = VectorEngine(
+                arrays=self.program.arrays,
+                fluorescence=fluorescence,
+                batch_size=self.options.batch_size,
+                accel=self.options.accel,
+            )
+            self._engines[fluorescence] = engine
+        return engine
+
+    def _pool_for(self, fluorescence, config: SimulationConfig):
+        """The warm process pool, (re)built only when fluorescence changes.
+
+        Worker engines bake the fluorescence spec in at spawn, so a
+        request with a different spec forces a pool rebuild (the cold
+        path, documented on :class:`~repro.api.SimulateRequest`); every
+        other request reuses the resident workers.  The scene plane is
+        acquired once per session through the program's registry entry
+        and survives pool rebuilds.
+        """
+        if self._pool is not None and self._pool_fluorescence == fluorescence:
+            return self._pool
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_fluorescence = _NO_POOL
+        from ..parallel.procpool import PhotonPool, resolve_share_plane
+
+        if not self._holds_plane and resolve_share_plane(
+            self.options.share_plane, self.scene
+        ):
+            try:
+                # One registry reference per session, released at close();
+                # the plane survives pool rebuilds within the session.
+                self._plane_handle = self.program.acquire_plane()
+                self._holds_plane = True
+            except OSError:
+                if self.options.share_plane == "on":
+                    raise  # "on" demands the plane; "auto" falls back
+        if self._holds_plane:
+            pool = PhotonPool(
+                self.scene, config, plane_handle=self._plane_handle
+            )
+        else:
+            pool = PhotonPool(self.scene, config, share_plane="off")
+        pool.start()
+        self._pool = pool
+        self._pool_fluorescence = fluorescence
+        return pool
+
+    # -- serving -----------------------------------------------------------
+
+    def simulate(self, request: SimulateRequest) -> SimulationResult:
+        """Serve one request on the warm resources.
+
+        Byte-identical to the legacy one-shot
+        ``PhotonSimulator(scene, config).run()`` for the merged config —
+        the session only changes *when* compilation and worker startup
+        happen, never a single tally.
+        """
+        self._check_open()
+        config = merge_config(request, self.options)
+        if config.engine == "scalar":
+            result = self._simulate_scalar(config)
+        elif config.workers > 1:
+            result = self._pool_for(request.fluorescence, config).run(config)
+        else:
+            result = self._engine_for(request.fluorescence).run(config)
+        self.requests_served += 1
+        return result
+
+    def simulate_stream(
+        self, request: SimulateRequest, batch_size: Optional[int] = None
+    ) -> Iterator[SimulationResult]:
+        """Serve one request as cumulative per-chunk results.
+
+        Yields after every *batch_size* photons (default: the session's
+        ``options.batch_size``); each yield is the cumulative result so
+        far — the same forest object growing across yields, exactly like
+        the legacy ``run_batches``.  Because tally replay is canonical
+        in (photon, bounce) order regardless of chunk boundaries, the
+        **final** yield is byte-identical to :meth:`simulate` of the
+        same request, on every engine/accelerator/worker combination
+        (pinned by the stream-parity suite).
+
+        Validation happens at the call, not at first iteration, and the
+        request counts as served when the stream starts (a consumer may
+        stop early on convergence — an advertised use).
+        """
+        self._check_open()
+        chunk = batch_size if batch_size is not None else self.options.batch_size
+        if chunk < 1:
+            raise ValueError("batch_size must be positive")
+        config = merge_config(request, self.options)
+        self.requests_served += 1
+        if config.n_photons == 0:
+            # Keep the final-yield-equals-simulate contract on an empty
+            # budget: one empty cumulative result.
+            return iter([SimulationResult(
+                BinForest(config.policy), TraceStats(), config, self.scene.name
+            )])
+        if config.engine == "scalar":
+            return self._stream_scalar(config, chunk)
+        return self._stream_vector(request, config, chunk)
+
+    def render(
+        self,
+        answer: Union[SimulationResult, BinForest],
+        camera=None,
+        *,
+        width: int = 160,
+        height: int = 120,
+    ) -> np.ndarray:
+        """The viewing stage: render *answer* from *camera*.
+
+        Args:
+            answer: A :class:`~repro.core.simulator.SimulationResult`
+                from this session, or any
+                :class:`~repro.core.bintree.BinForest` (e.g. from
+                :func:`repro.core.load_answer`) computed for this scene.
+            camera: A :class:`repro.core.Camera`; ``None`` uses the
+                scene's registered default view at *width* x *height*.
+            width / height: Resolution of the default camera (ignored
+                when *camera* is given).
+
+        Returns:
+            The radiance image as a ``(height, width, 3)`` float array.
+        """
+        self._check_open()
+        from ..core.radiance import RadianceField
+        from ..core.viewing import Camera, render
+
+        forest = answer.forest if isinstance(answer, SimulationResult) else answer
+        if camera is None:
+            camera = Camera(
+                width=width, height=height, **self.program.default_camera
+            )
+        field = RadianceField(self.scene, forest)
+        return render(self.scene, field, camera)
+
+    def profile(self, photons: int = 400, seed: int = 2024):
+        """Calibration profile measured on this session's engine/accel.
+
+        See :func:`repro.cluster.workload.profile_scene`; the vector
+        profile reuses the program's compiled arrays instead of
+        recompiling the scene.
+        """
+        self._check_open()
+        from ..cluster.workload import profile_scene
+
+        arrays = self.program.arrays if self.options.engine == "vector" else None
+        return profile_scene(
+            self.scene,
+            photons=photons,
+            seed=seed,
+            engine=self.options.engine,
+            accel=self.options.accel,
+            arrays=arrays,
+        )
+
+    # -- engine bodies -----------------------------------------------------
+    #
+    # The scalar bodies call the reference helpers in
+    # ``core.simulator`` (``_scalar_photon_streams`` /
+    # ``_scalar_trace_one``) — one implementation of the physics loop,
+    # two surfaces, zero drift.
+
+    def _simulate_scalar(self, config: SimulationConfig) -> SimulationResult:
+        forest = BinForest(config.policy)
+        stats = TraceStats()
+        for rng in _scalar_photon_streams(config):
+            _scalar_trace_one(self.scene, config, forest, stats, rng)
+        return SimulationResult(forest, stats, config, self.scene.name)
+
+    def _stream_scalar(
+        self, config: SimulationConfig, chunk: int
+    ) -> Iterator[SimulationResult]:
+        forest = BinForest(config.policy)
+        stats = TraceStats()
+        streams = _scalar_photon_streams(config)
+        remaining = config.n_photons
+        while remaining > 0:
+            todo = min(chunk, remaining)
+            for _ in range(todo):
+                _scalar_trace_one(self.scene, config, forest, stats, next(streams))
+            remaining -= todo
+            yield SimulationResult(forest, stats, config, self.scene.name)
+
+    def _stream_vector(
+        self, request: SimulateRequest, config: SimulationConfig, chunk: int
+    ) -> Iterator[SimulationResult]:
+        """Cumulative vector streaming, single- or multi-process.
+
+        Each chunk is traced (locally or on the warm pool) and replayed
+        into one growing forest via
+        :func:`repro.core.vectorized.tally_block`; contiguous ascending
+        chunks on per-photon substreams keep the global tally sequence
+        canonical, which is why the final cumulative forest matches the
+        one-shot answer byte-for-byte.
+        """
+        from ..core.vectorized import tally_block
+
+        if config.workers > 1:
+            pool = self._pool_for(request.fluorescence, config)
+            trace = pool.trace_range
+        else:
+            engine = self._engine_for(request.fluorescence)
+            trace = engine.trace_range
+        forest = BinForest(config.policy)
+        stats = TraceStats()
+        done = 0
+        while done < config.n_photons:
+            todo = min(chunk, config.n_photons - done)
+            block, chunk_stats = trace(config.seed, done, todo)
+            stats.merge(chunk_stats)
+            tally_block(forest, block, todo)
+            done += todo
+            yield SimulationResult(forest, stats, config, self.scene.name)
+
+
+def open_session(
+    program: Union[Scene, SceneProgram, str],
+    options: Optional[SessionOptions] = None,
+    **option_kwargs,
+) -> RenderSession:
+    """Open a :class:`RenderSession` (convenience constructor).
+
+    Accepts a scene, program, or registered scene name, plus either a
+    full :class:`SessionOptions` or its fields as keyword arguments::
+
+        with open_session("cornell-box", workers=4) as session:
+            ...
+    """
+    if options is not None and option_kwargs:
+        raise ValueError("pass options= or option keywords, not both")
+    if options is None:
+        options = SessionOptions(**option_kwargs)
+    return RenderSession(program, options)

@@ -18,35 +18,20 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .cluster import platform_by_name, profile_scene, trace_family
-from .core import (
-    Camera,
-    PhotonSimulator,
-    RadianceField,
-    SimulationConfig,
-    SplitPolicy,
-    load_answer,
-    save_answer,
+from .api import (
+    RenderSession,
+    SessionOptions,
+    SimulateRequest,
+    merge_config,
 )
-from .core.viewing import render
+from .cluster import platform_by_name, trace_family
+from .core import Camera, SplitPolicy, load_answer, save_answer
 from .geometry import Vec3
 from .image import save_radiance_ppm
 from .perf import ascii_traces, format_table, speedup_table
-from .scenes import (
-    CORNELL_DEFAULT_CAMERA,
-    HARPSICHORD_DEFAULT_CAMERA,
-    LAB_DEFAULT_CAMERA,
-    build_scene,
-    scene_registry,
-)
+from .scenes import build_scene, scene_registry
 
 __all__ = ["main", "build_parser"]
-
-_DEFAULT_CAMERAS = {
-    "cornell-box": CORNELL_DEFAULT_CAMERA,
-    "harpsichord-room": HARPSICHORD_DEFAULT_CAMERA,
-    "computer-lab": LAB_DEFAULT_CAMERA,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="photons per vector batch",
     )
+    p_sim.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help=(
+            "serve the request N times on one warm RenderSession and print "
+            "per-request timings: request #1 pays scene compile / plane "
+            "publish / worker spawn, every later request pays tracing only "
+            "(the session-reuse demonstration)"
+        ),
+    )
     p_sim.add_argument("--out", type=Path, required=True, help="answer file path")
 
     p_view = sub.add_parser("view", help="render a viewpoint from an answer file")
@@ -185,35 +181,52 @@ def _cmd_scenes(out) -> int:
 def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
     scene = build_scene(args.scene)
     try:
-        config = SimulationConfig(
+        request = SimulateRequest(
             n_photons=args.photons,
             seed=args.seed,
             policy=SplitPolicy(threshold=args.sigma),
-            engine=args.engine,
             rng_mode=args.rng,
-            batch_size=args.batch_size,
-            workers=args.workers,
+        )
+        options = SessionOptions(
+            engine=args.engine,
             accel=args.accel,
+            workers=args.workers,
+            batch_size=args.batch_size,
             share_plane=args.share_plane,
         )
+        # Cross-field validation (vector forbids stream RNG, ...) lives
+        # in the merged config; run it before provisioning anything.
+        merge_config(request, options)
+        if args.repeat < 1:
+            raise ValueError("--repeat must be at least 1")
     except ValueError as exc:
-        # Flag combinations the config rejects (e.g. --workers without
-        # the vector engine) are usage errors, not tracebacks: report
-        # them the argparse way (usage line + message, exit code 2),
-        # against the simulate subparser so the synopsis actually shows
-        # the flags the message talks about.
+        # Flag combinations the request/options split rejects (e.g.
+        # --workers without the vector engine) are usage errors, not
+        # tracebacks: report them the argparse way (usage line +
+        # message, exit code 2), against the simulate subparser so the
+        # synopsis actually shows the flags the message talks about.
         hint = ""
         if "requires the vector engine" in str(exc):
             hint = " (hint: pass --engine vector to use --workers)"
         parser.simulate_parser.error(f"{exc}{hint}")
-    t0 = time.perf_counter()
-    result = PhotonSimulator(scene, config).run()
-    dt = time.perf_counter() - t0
+    engine_label = options.engine
+    if options.engine == "vector" and options.workers > 1:
+        engine_label = f"vector x{options.workers} procs"
+    with RenderSession(scene, options) as session:
+        for i in range(args.repeat):
+            t0 = time.perf_counter()
+            result = session.simulate(request)
+            dt = time.perf_counter() - t0
+            if args.repeat > 1:
+                phase = "cold: compile+publish+spawn" if i == 0 else "warm"
+                print(
+                    f"request {i + 1}/{args.repeat}: {args.photons:,} "
+                    f"photons in {dt:.2f}s "
+                    f"({args.photons / max(dt, 1e-9):,.0f}/s, {phase})",
+                    file=out,
+                )
     result.forest.check_invariants()
     save_answer(result.forest, args.out)
-    engine_label = config.engine
-    if config.engine == "vector" and config.workers > 1:
-        engine_label = f"vector x{config.workers} procs"
     print(
         f"{args.photons:,} photons in {dt:.1f}s "
         f"({args.photons / max(dt, 1e-9):,.0f}/s, {engine_label}); "
@@ -227,16 +240,12 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
 def _cmd_view(args, out) -> int:
     scene = build_scene(args.scene)
     forest = load_answer(args.answer)
-    field = RadianceField(scene, forest)
-    defaults = _DEFAULT_CAMERAS.get(args.scene, {})
-    position = (
-        Vec3(*args.eye) if args.eye else defaults.get("position", Vec3(0, 1, 3))
-    )
-    look_at = (
-        Vec3(*args.look_at)
-        if args.look_at
-        else defaults.get("look_at", Vec3(0, 1, 0))
-    )
+    # Viewing defaults travel with the scene (Scene.default_camera), so
+    # newly registered scenes frame themselves instead of inheriting a
+    # hardcoded fallback viewpoint.
+    defaults = scene.default_camera
+    position = Vec3(*args.eye) if args.eye else defaults["position"]
+    look_at = Vec3(*args.look_at) if args.look_at else defaults["look_at"]
     fov = args.fov if args.fov is not None else defaults.get(
         "vertical_fov_degrees", 55.0
     )
@@ -248,7 +257,8 @@ def _cmd_view(args, out) -> int:
         height=args.height,
     )
     t0 = time.perf_counter()
-    image = render(scene, field, camera)
+    with RenderSession(scene) as session:
+        image = session.render(forest, camera)
     save_radiance_ppm(image, args.out)
     print(
         f"rendered {args.width}x{args.height} in "
@@ -261,7 +271,10 @@ def _cmd_view(args, out) -> int:
 def _cmd_trace(args, out) -> int:
     machine = platform_by_name(args.platform)
     scene = build_scene(args.scene)
-    profile = profile_scene(scene, photons=250, engine=args.engine, accel=args.accel)
+    with RenderSession(
+        scene, SessionOptions(engine=args.engine, accel=args.accel)
+    ) as session:
+        profile = session.profile(photons=250)
     family = trace_family(
         machine, profile, sorted(set(args.ranks)), duration_s=args.duration
     )

@@ -99,6 +99,7 @@ def profile_scene(
     seed: int = 2024,
     engine: str = "scalar",
     accel: str = "auto",
+    arrays=None,
 ) -> SceneProfile:
     """Measure a :class:`SceneProfile` by tracing *photons* real photons.
 
@@ -115,6 +116,11 @@ def profile_scene(
             octree, and linear do very different amounts of slab/patch
             work per photon.  Ignored by the scalar engine, which always
             walks the pointer octree.
+        arrays: Optional pre-compiled
+            :class:`~repro.core.vectorized.SceneArrays` for *scene*
+            (e.g. from a :class:`repro.api.SceneProgram`); the vector
+            calibration then skips its own scene compile.  Ignored by
+            the scalar engine.
     """
     if photons < 10:
         raise ValueError("need at least 10 calibration photons")
@@ -123,7 +129,7 @@ def profile_scene(
     if accel not in ACCELS:
         raise ValueError(f"unknown accel {accel!r}; pick from {ACCELS}")
     if engine == "vector":
-        return _profile_scene_vector(scene, photons, seed, accel)
+        return _profile_scene_vector(scene, photons, seed, accel, arrays)
     rng = Lcg48(seed)
     forest = BinForest(SplitPolicy())
     stats = TraceStats()
@@ -154,12 +160,12 @@ def profile_scene(
 
 
 def _profile_scene_vector(
-    scene: Scene, photons: int, seed: int, accel: str
+    scene: Scene, photons: int, seed: int, accel: str, arrays=None
 ) -> SceneProfile:
     """Vector-engine calibration body of :func:`profile_scene`."""
     from ..core.vectorized import VectorEngine, apply_events
 
-    engine = VectorEngine(scene, accel=accel)
+    engine = VectorEngine(scene, arrays=arrays, accel=accel)
     forest = BinForest(SplitPolicy())
     events, _stats = engine.trace_range(seed, 0, photons)
     events = events.sorted_canonical()

@@ -15,6 +15,7 @@ forests tally-for-tally.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -271,8 +272,61 @@ class SimulationResult:
         return self.forest.leaf_count
 
 
+def _scalar_photon_streams(config: SimulationConfig) -> Iterator[Lcg48]:
+    """One RNG per photon under *config*'s discipline.
+
+    The single home of the scalar RNG policy, shared by the legacy
+    driver and :class:`repro.api.RenderSession` so the two surfaces
+    cannot drift: ``"stream"`` yields the same serial generator every
+    time (the historical behaviour); ``"substream"`` yields photon
+    *i*'s private counter-based stream, matching the vector engine
+    draw-for-draw.
+    """
+    if config.resolved_rng_mode == "substream":
+        from .vectorized import photon_substream
+
+        for i in range(config.n_photons):
+            yield photon_substream(config.seed, i)
+    else:
+        rng = Lcg48(config.seed)
+        for _ in range(config.n_photons):
+            yield rng
+
+
+def _scalar_trace_one(
+    scene: Scene,
+    config: SimulationConfig,
+    forest: BinForest,
+    stats: TraceStats,
+    rng: Lcg48,
+) -> None:
+    """Trace one photon and tally its events — the reference tally body.
+
+    Shared by every scalar driver (one-shot, batched, session) so the
+    emission/band accounting cannot diverge between them.
+    """
+    events, photon_stats = trace_photon(
+        scene, rng, fluorescence=config.fluorescence
+    )
+    stats.merge(photon_stats)
+    for event in events:
+        forest.tally(event.patch_id, event.coords, event.band)
+    forest.photons_emitted += 1
+    forest.band_emitted[events[0].band] += 1
+
+
 class PhotonSimulator:
-    """Serial Photon driver.
+    """One-shot Photon driver — a deprecation shim over the session API.
+
+    .. deprecated::
+        ``PhotonSimulator(scene, config).run()`` re-provisions every
+        resource per call (scene compile, plane publish, worker spawn).
+        New code should open a persistent
+        :class:`repro.api.RenderSession` and serve
+        :class:`repro.api.SimulateRequest` objects on it; this shim
+        builds exactly that session for a single request, so answers
+        stay byte-identical while the warning nudges callers to the
+        amortized path.
 
     Args:
         scene: The scene to illuminate.
@@ -287,73 +341,57 @@ class PhotonSimulator:
     """
 
     def __init__(self, scene: Scene, config: SimulationConfig) -> None:
+        warnings.warn(
+            "PhotonSimulator is a one-shot shim; for repeated requests use "
+            "repro.api.RenderSession (compile-once, warm workers)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.scene = scene
         self.config = config
 
     def run(self) -> SimulationResult:
-        """Run the full photon budget and return the answer forest."""
-        config = self.config
-        if config.engine == "vector":
-            if config.workers > 1:
-                from ..parallel.procpool import run_procpool
+        """Run the full photon budget and return the answer forest.
 
-                return run_procpool(self.scene, config)
-            from .vectorized import VectorEngine
+        Routes through a single-request :class:`repro.api.RenderSession`
+        (the scene program cache still amortizes compilation across
+        shim calls on the same scene object); the answer bytes are
+        identical to the pre-session implementation.
+        """
+        from ..api import RenderSession, split_config
 
-            engine = VectorEngine(
-                self.scene,
-                fluorescence=config.fluorescence,
-                batch_size=config.batch_size,
-                accel=config.accel,
-            )
-            return engine.run(config)
-
-        forest = BinForest(config.policy)
-        stats = TraceStats()
-        for rng in self._scalar_streams():
-            self._trace_one(forest, stats, rng)
-        return SimulationResult(forest, stats, config, self.scene.name)
+        request, options = split_config(self.config)
+        with RenderSession(self.scene, options) as session:
+            return session.simulate(request)
 
     def _scalar_streams(self) -> Iterator[Lcg48]:
-        """One RNG per photon under the configured discipline.
-
-        ``"stream"`` yields the same serial generator every time (the
-        historical behaviour); ``"substream"`` yields photon *i*'s private
-        counter-based stream, matching the vector engine draw-for-draw.
-        """
-        config = self.config
-        if config.resolved_rng_mode == "substream":
-            from .vectorized import photon_substream
-
-            for i in range(config.n_photons):
-                yield photon_substream(config.seed, i)
-        else:
-            rng = Lcg48(config.seed)
-            for _ in range(config.n_photons):
-                yield rng
+        """One RNG per photon (see :func:`_scalar_photon_streams`)."""
+        return _scalar_photon_streams(self.config)
 
     def _trace_one(self, forest: BinForest, stats: TraceStats, rng: Lcg48) -> None:
-        """Trace one photon and tally its events (shared by run paths)."""
-        events, photon_stats = trace_photon(
-            self.scene, rng, fluorescence=self.config.fluorescence
-        )
-        stats.merge(photon_stats)
-        for event in events:
-            forest.tally(event.patch_id, event.coords, event.band)
-        forest.photons_emitted += 1
-        forest.band_emitted[events[0].band] += 1
+        """Trace one photon and tally it (see :func:`_scalar_trace_one`)."""
+        _scalar_trace_one(self.scene, self.config, forest, stats, rng)
 
     def run_batches(self, batch_size: int) -> Iterator[SimulationResult]:
         """Yield cumulative results after each batch of *batch_size* photons.
 
         Used by the memory-growth (Fig. 5.4) and speed-trace harnesses;
         the same forest object accumulates across yields.  Works under
-        every engine: the vector engine traces each yielded batch in
-        structure-of-arrays form.
+        both single-process engines; multi-process streaming lives in
+        :meth:`repro.api.RenderSession.simulate_stream`, so a config
+        asking for workers here is an error rather than a silent
+        single-process run.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         config = self.config
+        if config.workers > 1:
+            raise ValueError(
+                "run_batches is single-process and would silently ignore "
+                f"workers={config.workers}; use "
+                "repro.api.RenderSession.simulate_stream for streamed "
+                "multi-process runs"
+            )
         forest = BinForest(config.policy)
         stats = TraceStats()
         if config.engine == "vector":

@@ -473,9 +473,10 @@ class VectorEngine:
             (module docstring); ``None``/``"auto"`` picks ``"flat"`` at
             or above :data:`PRUNE_PATCH_THRESHOLD` patches, ``"linear"``
             below.
-        prune: Legacy alias kept for PR 1 callers: ``True`` forces the
-            pruned leaf loop (``accel="octree"``), ``False`` the dense
-            scan (``accel="linear"``).  Mutually exclusive with *accel*.
+        prune: Deprecated PR 1 alias (emits ``DeprecationWarning``):
+            ``True`` forces the pruned leaf loop (``accel="octree"``),
+            ``False`` the dense scan (``accel="linear"``).  Mutually
+            exclusive with *accel*; pass ``accel=`` instead.
 
     Attributes:
         accel: The resolved acceleration mode (never ``"auto"``).
@@ -500,6 +501,14 @@ class VectorEngine:
         if accel is not None and prune is not None:
             raise ValueError("pass either accel= or the legacy prune=, not both")
         if prune is not None:
+            import warnings
+
+            warnings.warn(
+                "VectorEngine(prune=) is deprecated; pass accel='octree' "
+                "(prune=True) or accel='linear' (prune=False) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             accel = "octree" if prune else "linear"
         if accel is None:
             accel = "auto"

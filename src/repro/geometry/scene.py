@@ -62,6 +62,12 @@ class Scene:
         beam_half_angles: Optional mapping from patch index (in *patches*)
             to a collimation half-angle for that emitter.
         leaf_capacity / max_depth: Octree build parameters.
+        default_camera: Optional viewing defaults carried *with* the
+            scene — ``Camera(**scene.default_camera)`` keyword arguments
+            (``position``, ``look_at``, ``vertical_fov_degrees``).  When
+            omitted, :attr:`default_camera` derives a framing camera
+            from the scene bounds, so a newly registered scene renders
+            something sensible instead of a hardcoded fallback view.
     """
 
     def __init__(
@@ -72,10 +78,22 @@ class Scene:
         beam_half_angles: Optional[dict[int, float]] = None,
         leaf_capacity: int = 8,
         max_depth: int = 10,
+        default_camera: Optional[dict] = None,
     ) -> None:
         if not patches:
             raise ValueError("a scene needs at least one patch")
         self.name = name
+        if default_camera is not None:
+            missing = {"position", "look_at"} - set(default_camera)
+            if missing:
+                raise ValueError(
+                    f"default_camera needs {sorted(missing)} (got "
+                    f"{sorted(default_camera)}); every consumer — repro "
+                    "view, RenderSession.render — reads those keys"
+                )
+            self._default_camera = dict(default_camera)
+        else:
+            self._default_camera = None
         self.patches: list[Patch] = list(patches)
         for i, patch in enumerate(self.patches):
             patch.patch_id = i
@@ -112,6 +130,20 @@ class Scene:
         self.octree = Octree(
             self.patches, leaf_capacity=leaf_capacity, max_depth=max_depth
         )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the process-local compile cache.
+
+        :meth:`repro.api.SceneProgram.compile` caches the compiled
+        program on the scene object; the program holds locks and
+        megabytes of arrays, neither of which may travel with the scene
+        when the multi-process pickle transport ships it to a worker
+        (spawn-start platforms pickle pool init args).  The receiving
+        process compiles its own program on first need.
+        """
+        state = self.__dict__.copy()
+        state.pop("_compiled_program", None)
+        return state
 
     # -- queries -------------------------------------------------------------
 
@@ -157,6 +189,31 @@ class Scene:
     def bounds(self) -> AABB:
         """The octree root bounds (slightly expanded scene extent)."""
         return self.octree.root.bounds
+
+    @property
+    def default_camera(self) -> dict:
+        """Viewing defaults for this scene, as ``Camera`` keyword args.
+
+        Returns the camera registered at construction, or — for scenes
+        built without one — a deterministic framing view derived from
+        the scene bounds (eye pulled back outside the +z face, looking
+        at the centre), so ``repro view`` and
+        :meth:`repro.api.RenderSession.render` never fall back to a
+        viewpoint unrelated to the geometry.
+        """
+        if self._default_camera is not None:
+            return dict(self._default_camera)
+        box = self.bounds()
+        cx = 0.5 * (box.lo.x + box.hi.x)
+        cy = 0.5 * (box.lo.y + box.hi.y)
+        cz = 0.5 * (box.lo.z + box.hi.z)
+        extent = max(box.hi.x - box.lo.x, box.hi.y - box.lo.y,
+                     box.hi.z - box.lo.z)
+        return {
+            "position": Vec3(cx, cy + 0.25 * extent, box.hi.z + 1.1 * extent),
+            "look_at": Vec3(cx, cy, cz),
+            "vertical_fov_degrees": 55.0,
+        }
 
     # -- inventory ----------------------------------------------------------------
 

@@ -303,6 +303,18 @@ class PhotonPool:
             (``fluorescence``, ``batch_size``, ``accel``) come from
             here, as does the default ``share_plane`` mode.
         share_plane: Optional override of ``config.share_plane``.
+        arrays: Optional pre-compiled :class:`SceneArrays` for *scene*.
+            When this pool itself publishes a plane it publishes these
+            instead of recompiling the scene — for direct pool users
+            that already hold compiled arrays.  (The session API does
+            not publish through the pool at all: it acquires a
+            registry-owned plane and passes *plane_handle* instead.)
+        plane_handle: Optional handle of an **externally owned** plane
+            (typically from
+            :func:`repro.parallel.shmplane.plane_registry`).  The pool
+            attaches its workers to that segment, never publishes, and
+            never unlinks it on :meth:`close` — the owner (registry /
+            session) controls the segment lifetime.
     """
 
     def __init__(
@@ -310,12 +322,17 @@ class PhotonPool:
         scene: Scene,
         config: SimulationConfig,
         share_plane: Optional[str] = None,
+        *,
+        arrays: Optional[SceneArrays] = None,
+        plane_handle=None,
     ) -> None:
         self.scene = scene
         self.config = config
         self.share_plane = (
             share_plane if share_plane is not None else config.share_plane
         )
+        self.arrays = arrays
+        self.plane_handle = plane_handle
         self.plane = None
         self._pool = None
         self._init_reports = None
@@ -329,11 +346,20 @@ class PhotonPool:
             return self
         handle = None
         scene_arg: Optional[Scene] = self.scene
-        if resolve_share_plane(self.share_plane, self.scene):
+        if self.plane_handle is not None:
+            # Externally owned plane (session / registry): attach only.
+            handle = self.plane_handle
+            scene_arg = None
+            self.transport = "plane"
+        elif resolve_share_plane(self.share_plane, self.scene):
             from . import shmplane
 
             try:
-                self.plane = shmplane.publish(SceneArrays(self.scene))
+                payload = (
+                    self.arrays if self.arrays is not None
+                    else SceneArrays(self.scene)
+                )
+                self.plane = shmplane.publish(payload)
             except OSError:
                 if self.share_plane == "on":
                     raise
@@ -392,18 +418,34 @@ class PhotonPool:
             return SimulationResult(
                 BinForest(config.policy), TraceStats(), config, self.scene.name
             )
-        jobs = [
-            (config.seed, start, count)
-            for start, count in _shard_starts(config.n_photons, workers)
-            if count > 0
-        ]
-        events, stats = _gather_shards(
-            self._pool.starmap(_trace_shard_pooled, jobs)
-        )
+        events, stats = self.trace_range(config.seed, 0, config.n_photons)
         forest = build_forest_parallel(
             self._pool, events, config.policy, workers
         )
         return _finish_result(forest, events, stats, config, self.scene.name)
+
+    def trace_range(
+        self, seed: int, start: int, count: int
+    ) -> tuple[EventBatch, TraceStats]:
+        """Phase 1 only: trace photons ``start .. start+count`` on the
+        warm workers, returning globally canonical events plus counters.
+
+        The streaming building block behind
+        :meth:`repro.api.RenderSession.simulate_stream`: the caller
+        chunks the photon budget, tallies each returned block itself
+        (:func:`repro.core.vectorized.tally_block`), and gets a forest
+        byte-identical to :meth:`run` — contiguous ascending shards on
+        per-photon substreams make the concatenation canonical exactly
+        as in the one-shot path.
+        """
+        if self._pool is None:
+            self.start()
+        jobs = [
+            (seed, start + offset, share)
+            for offset, share in _shard_starts(count, self.config.workers)
+            if share > 0
+        ]
+        return _gather_shards(self._pool.starmap(_trace_shard_pooled, jobs))
 
     def worker_transports(self) -> list[str]:
         """Every worker's transport, reported once from its initializer.

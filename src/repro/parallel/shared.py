@@ -261,7 +261,7 @@ class _ThreadMap:
 
 
 def _run_shared_vector(
-    scene: Scene, config: SharedConfig, n_workers: int
+    scene: Scene, config: SharedConfig, n_workers: int, arrays=None
 ) -> SharedResult:
     """Vector-engine body of :func:`run_shared`: sharded, lock-free.
 
@@ -296,7 +296,9 @@ def _run_shared_vector(
     # The only cross-thread writes are the patch_tests/box_tests
     # diagnostic counters, whose unsynchronised += may undercount; the
     # answer (events, stats) never reads them.
-    engine = VectorEngine(scene, batch_size=config.batch_size, accel=config.accel)
+    engine = VectorEngine(
+        scene, arrays=arrays, batch_size=config.batch_size, accel=config.accel
+    )
     shards = _shard_starts(config.n_photons, n_workers)
     stats_out: list[TraceStats] = [TraceStats() for _ in range(n_workers)]
     blocks: list[EventBatch] = [EventBatch.empty() for _ in range(n_workers)]
@@ -326,7 +328,9 @@ def _run_shared_vector(
     )
 
 
-def run_shared(scene: Scene, config: SharedConfig, n_workers: int) -> SharedResult:
+def run_shared(
+    scene: Scene, config: SharedConfig, n_workers: int, arrays=None
+) -> SharedResult:
     """Run the forall loop of Figure 5.2 on *n_workers* threads.
 
     With ``n_workers == 1`` and the same seed this produces a forest
@@ -336,11 +340,18 @@ def run_shared(scene: Scene, config: SharedConfig, n_workers: int) -> SharedResu
     sharded lock-free reduction of :func:`_run_shared_vector`, and the
     forest matches the serial vector engine node-for-node for *every*
     worker count (the golden suite pins the bytes).
+
+    Args:
+        arrays: Optional pre-compiled
+            :class:`~repro.core.vectorized.SceneArrays` (e.g. from a
+            :class:`repro.api.SceneProgram`) so the vector path reuses
+            the session-compiled scene instead of recompiling; ignored
+            by the scalar engine.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     if config.engine == "vector":
-        return _run_shared_vector(scene, config, n_workers)
+        return _run_shared_vector(scene, config, n_workers, arrays)
     shared = SharedForest(config.policy)
     stats_out: list[TraceStats] = [TraceStats() for _ in range(n_workers)]
     emitted_out = [0] * n_workers

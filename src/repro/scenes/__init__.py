@@ -1,4 +1,11 @@
-"""The three test scenes of Table 5.1 plus a registry for the harnesses."""
+"""The three test scenes of Table 5.1 plus a registry for the harnesses.
+
+Every registered scene carries its own viewing defaults
+(``scene.default_camera`` — the ``*_DEFAULT_CAMERA`` dicts below), so
+``repro view`` and :meth:`repro.api.RenderSession.render` frame a scene
+correctly without a per-scene lookup table anywhere else; scenes built
+without a camera derive a framing view from their bounds.
+"""
 
 from typing import Callable
 

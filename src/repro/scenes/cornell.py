@@ -127,7 +127,7 @@ def cornell_box(*, mirror_reflectance: float = 0.95) -> Scene:
         Vec3(1.0, 1.0, 0.55), 0.9, 0.7, 0.02, glass, grey
     )
 
-    return Scene(patches, name="cornell-box")
+    return Scene(patches, name="cornell-box", default_camera=CORNELL_DEFAULT_CAMERA)
 
 
 #: Camera matching the published view: just outside the open front,

@@ -113,7 +113,12 @@ def harpsichord_room() -> Scene:
     patches.append(axis_rect("z", 0.01, (1.0, 1.8), (1.2, 2.2), paper_mat, name="print0"))
     patches.append(axis_rect("z", 0.01, (4.2, 5.0), (1.2, 2.2), paper_mat, name="print1"))
 
-    return Scene(patches, name="harpsichord-room", beam_half_angles=beam_angles)
+    return Scene(
+        patches,
+        name="harpsichord-room",
+        beam_half_angles=beam_angles,
+        default_camera=HARPSICHORD_DEFAULT_CAMERA,
+    )
 
 
 HARPSICHORD_DEFAULT_CAMERA = dict(

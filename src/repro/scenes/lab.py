@@ -134,7 +134,9 @@ def computer_lab(*, workstations: int = 22) -> Scene:
             name=f"shelf{i}",
         )
 
-    return Scene(patches, name="computer-lab", max_depth=12)
+    return Scene(
+        patches, name="computer-lab", max_depth=12, default_camera=LAB_DEFAULT_CAMERA
+    )
 
 
 LAB_DEFAULT_CAMERA = dict(

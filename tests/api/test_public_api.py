@@ -1,0 +1,196 @@
+"""Public-API lockdown: the ``repro.api`` surface and its contracts.
+
+The session API is the stable surface later layers build on, so its
+shape is pinned here: every ``__all__`` name imports round-trip, the
+request/options split stays frozen and hashable, the legacy one-shot
+shims emit deprecation warnings while producing byte-identical answers,
+and the request/config conversion is lossless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.api import (
+    RenderSession,
+    SceneProgram,
+    SessionOptions,
+    SimulateRequest,
+    merge_config,
+    open_session,
+    split_config,
+)
+from repro.core import (
+    PhotonSimulator,
+    SimulationConfig,
+    SplitPolicy,
+    forest_to_dict,
+)
+
+
+def forest_bytes(result) -> str:
+    return json.dumps(forest_to_dict(result.forest), sort_keys=True)
+
+
+class TestSurface:
+    def test_all_names_import_roundtrip(self):
+        assert api.__all__ == sorted(api.__all__)
+        for name in api.__all__:
+            obj = getattr(api, name)
+            assert obj is not None, name
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro.api import *", namespace)
+        exported = {k for k in namespace if not k.startswith("_")}
+        assert exported == set(api.__all__)
+
+
+class TestRequestOptionsSplit:
+    def test_request_frozen(self):
+        request = SimulateRequest(n_photons=10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.n_photons = 20
+
+    def test_options_frozen(self):
+        options = SessionOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.workers = 2
+
+    def test_request_hashable_by_value(self):
+        a = SimulateRequest(n_photons=10, seed=7)
+        b = SimulateRequest(n_photons=10, seed=7)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, SimulateRequest(n_photons=11, seed=7)}) == 2
+
+    def test_options_hashable_by_value(self):
+        assert hash(SessionOptions(workers=2)) == hash(SessionOptions(workers=2))
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            SimulateRequest(n_photons=-1)
+        with pytest.raises(ValueError):
+            SimulateRequest(n_photons=1, rng_mode="quantum")
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SessionOptions(engine="fpga")
+        with pytest.raises(ValueError):
+            SessionOptions(workers=0)
+        with pytest.raises(ValueError):
+            SessionOptions(engine="scalar", workers=2)
+        with pytest.raises(ValueError):
+            SessionOptions(accel="bvh")
+        with pytest.raises(ValueError):
+            SessionOptions(share_plane="maybe")
+        with pytest.raises(ValueError):
+            SessionOptions(batch_size=0)
+
+    def test_merge_enforces_cross_field_rules(self):
+        with pytest.raises(ValueError):
+            merge_config(
+                SimulateRequest(n_photons=1, rng_mode="stream"),
+                SessionOptions(engine="vector"),
+            )
+
+    def test_split_merge_roundtrip(self):
+        config = SimulationConfig(
+            n_photons=123,
+            seed=0xBEEF,
+            policy=SplitPolicy(threshold=2.5),
+            engine="vector",
+            rng_mode="substream",
+            batch_size=512,
+            workers=3,
+            accel="flat",
+            share_plane="off",
+        )
+        request, options = split_config(config)
+        assert merge_config(request, options) == config
+
+
+class TestDeprecationShims:
+    def test_photon_simulator_warns(self, mini_scene):
+        with pytest.warns(DeprecationWarning, match="RenderSession"):
+            PhotonSimulator(mini_scene, SimulationConfig(n_photons=1))
+
+    def test_shim_matches_session_bytes(self, mini_scene, engine):
+        """The one-shot shim and an explicit session serve identical bytes."""
+        config = SimulationConfig(
+            n_photons=220, seed=0xC0FFEE, engine=engine, rng_mode="substream"
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = PhotonSimulator(mini_scene, config).run()
+        request, options = split_config(config)
+        with RenderSession(mini_scene, options) as session:
+            fresh = session.simulate(request)
+        assert forest_bytes(legacy) == forest_bytes(fresh)
+
+    def test_session_api_is_warning_free(self, mini_scene):
+        """The supported path must not trip the deprecation it recommends."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with RenderSession(mini_scene) as session:
+                session.simulate(SimulateRequest(n_photons=20))
+
+
+class TestSceneProgram:
+    def test_compile_is_cached_per_scene(self, mini_scene):
+        assert SceneProgram.compile(mini_scene) is SceneProgram.compile(mini_scene)
+
+    def test_program_hashable(self, mini_scene):
+        program = SceneProgram.compile(mini_scene)
+        assert program in {program}
+
+    def test_lazy_compile_defers_arrays(self, mini_scene):
+        program = SceneProgram(mini_scene, eager=False)
+        assert not program.compiled
+        _ = program.arrays
+        assert program.compiled
+
+    def test_default_camera_travels_with_program(self, cornell):
+        camera = SceneProgram.compile(cornell).default_camera
+        assert set(camera) >= {"position", "look_at"}
+
+    def test_compiled_scene_still_pickles(self):
+        """The on-scene compile cache (locks + arrays) must not travel
+        with the scene — spawn-start pools pickle their init args."""
+        import pickle
+
+        from tests.scenehelpers import build_mini_scene
+
+        scene = build_mini_scene()
+        SceneProgram.compile(scene)
+        clone = pickle.loads(pickle.dumps(scene))
+        assert not hasattr(clone, "_compiled_program")
+        assert clone.name == scene.name
+        assert len(clone.patches) == len(scene.patches)
+
+    def test_program_cache_dies_with_scene(self):
+        """No process-global table pins compiled scenes alive."""
+        import gc
+        import weakref
+
+        from tests.scenehelpers import build_mini_scene
+
+        scene = build_mini_scene()
+        SceneProgram.compile(scene)
+        ref = weakref.ref(scene)
+        del scene
+        gc.collect()
+        assert ref() is None
+
+
+class TestOpenSession:
+    def test_accepts_registered_name(self):
+        with open_session("cornell-box", engine="scalar") as session:
+            assert session.scene.name == "cornell-box"
+
+    def test_rejects_options_and_kwargs(self, mini_scene):
+        with pytest.raises(ValueError):
+            open_session(mini_scene, SessionOptions(), workers=2)

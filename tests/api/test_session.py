@@ -1,0 +1,164 @@
+"""RenderSession behaviour: warm reuse, plane sharing, crash hygiene.
+
+The session's value is in what it does *not* do on request #2: no scene
+recompile, no plane republish, no worker respawn.  These tests pin the
+resource lifecycle — warm engines and pools are reused, concurrent
+sessions on one program share a single published segment through the
+process-wide registry, and a crashed session still leaves ``/dev/shm``
+clean (the no-leak contract, reusing :func:`leaked_segments`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RenderSession, SessionOptions, SimulateRequest
+from repro.core import forest_to_dict
+from repro.core.fluorescence import FluorescenceSpec
+from repro.parallel.shmplane import (
+    leaked_segments,
+    plane_available,
+    plane_registry,
+)
+
+needs_plane = pytest.mark.skipif(
+    not plane_available(), reason="no multiprocessing.shared_memory here"
+)
+
+
+def forest_bytes(result) -> str:
+    return json.dumps(forest_to_dict(result.forest), sort_keys=True)
+
+
+class TestWarmReuse:
+    def test_equal_requests_equal_bytes(self, mini_scene):
+        request = SimulateRequest(n_photons=250)
+        with RenderSession(mini_scene) as session:
+            first = session.simulate(request)
+            second = session.simulate(request)
+        assert forest_bytes(first) == forest_bytes(second)
+        assert session.requests_served == 2
+
+    def test_engine_object_reused_across_requests(self, mini_scene):
+        with RenderSession(mini_scene) as session:
+            session.simulate(SimulateRequest(n_photons=50))
+            engine_once = session._engines[None]
+            session.simulate(SimulateRequest(n_photons=50, seed=9))
+            assert session._engines[None] is engine_once
+
+    def test_fluorescence_is_per_request(self, mini_scene):
+        """One warm session serves specs the engines bake in at build."""
+        spec = FluorescenceSpec.simple(blue_to_green=0.5)
+        with RenderSession(mini_scene) as session:
+            plain = session.simulate(SimulateRequest(n_photons=200))
+            fluor = session.simulate(
+                SimulateRequest(n_photons=200, fluorescence=spec)
+            )
+            assert len(session._engines) == 2
+        assert forest_bytes(plain) != forest_bytes(fluor)
+
+    def test_render_uses_scene_default_camera(self, cornell):
+        with RenderSession(cornell) as session:
+            result = session.simulate(SimulateRequest(n_photons=200))
+            image = session.render(result, width=16, height=12)
+        assert image.shape == (12, 16, 3)
+
+    def test_render_accepts_bare_forest(self, mini_scene):
+        with RenderSession(mini_scene) as session:
+            result = session.simulate(SimulateRequest(n_photons=100))
+            via_result = session.render(result, width=8, height=6)
+            via_forest = session.render(result.forest, width=8, height=6)
+        assert (via_result == via_forest).all()
+
+    def test_profile_on_session_engine(self, cornell):
+        with RenderSession(cornell, SessionOptions(accel="linear")) as session:
+            profile = session.profile(photons=60)
+        assert profile.name == "cornell-box"
+        assert profile.tests_per_photon > 0
+
+    def test_closed_session_refuses_requests(self, mini_scene):
+        session = RenderSession(mini_scene)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.simulate(SimulateRequest(n_photons=1))
+        session.close()  # idempotent
+
+    def test_scalar_session_never_compiles_arrays(self):
+        # A fresh scene: the process-wide program cache would otherwise
+        # hand back a program some earlier vector test already compiled.
+        from tests.scenehelpers import build_mini_scene
+
+        with RenderSession(
+            build_mini_scene(), SessionOptions(engine="scalar")
+        ) as session:
+            session.simulate(SimulateRequest(n_photons=30))
+            assert not session.program.compiled
+
+
+@needs_plane
+class TestPlaneSharing:
+    """The registry half of the tentpole: one segment per program."""
+
+    def test_registry_refcounts_one_segment(self, mini_scene):
+        from repro.api import SceneProgram
+
+        program = SceneProgram.compile(mini_scene)
+        before = len(leaked_segments())
+        h1 = program.acquire_plane()
+        h2 = program.acquire_plane()
+        assert h1.segment == h2.segment
+        assert plane_registry().refcount(program.plane_key) == 2
+        assert len(leaked_segments()) == before + 1
+        program.release_plane()
+        assert len(leaked_segments()) == before + 1  # still referenced
+        program.release_plane()
+        assert len(leaked_segments()) == before
+        program.release_plane()  # over-release is a no-op, not a crash
+        assert plane_registry().refcount(program.plane_key) == 0
+
+    def test_concurrent_sessions_share_one_segment(self, mini_scene):
+        """Two live multi-process sessions publish exactly one plane."""
+        request = SimulateRequest(n_photons=120)
+        options = SessionOptions(workers=2, share_plane="on")
+        with RenderSession(mini_scene, options) as one:
+            with RenderSession(mini_scene, options) as two:
+                a = one.simulate(request)
+                b = two.simulate(request)
+                assert one.program is two.program
+                assert len(leaked_segments()) == 1
+        assert forest_bytes(a) == forest_bytes(b)
+        assert leaked_segments() == []
+
+    def test_pool_survives_across_requests(self, mini_scene):
+        options = SessionOptions(workers=2, share_plane="on")
+        with RenderSession(mini_scene, options) as session:
+            session.simulate(SimulateRequest(n_photons=60))
+            pool_once = session._pool
+            session.simulate(SimulateRequest(n_photons=60, seed=3))
+            assert session._pool is pool_once
+
+
+@needs_plane
+class TestCrashHygiene:
+    def test_crashed_session_leaves_shm_clean(self, mini_scene):
+        """A request that raises mid-session must not leak its segment."""
+        options = SessionOptions(workers=2, share_plane="on")
+        with pytest.raises(RuntimeError, match="frontend blew up"):
+            with RenderSession(mini_scene, options) as session:
+                session.simulate(SimulateRequest(n_photons=60))
+                assert len(leaked_segments()) == 1
+                raise RuntimeError("frontend blew up")
+        assert leaked_segments() == []
+
+    def test_failing_request_then_cleanup(self, mini_scene):
+        """A bad request raises inside serve; teardown still releases."""
+        options = SessionOptions(workers=2, share_plane="on")
+        with pytest.raises(ValueError):
+            with RenderSession(mini_scene, options) as session:
+                session.simulate(SimulateRequest(n_photons=60))
+                session.simulate_stream(
+                    SimulateRequest(n_photons=60), batch_size=0
+                ).__next__()
+        assert leaked_segments() == []

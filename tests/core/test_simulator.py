@@ -133,6 +133,25 @@ class TestBatches:
         with pytest.raises(ValueError):
             list(PhotonSimulator(mini_scene, fast_config).run_batches(0))
 
+    def test_vector_workers_rejected_not_ignored(self, mini_scene):
+        """run_batches is single-process; a pool config must error
+        loudly instead of silently tracing on one core."""
+        cfg = SimulationConfig(n_photons=200, engine="vector", workers=3)
+        with pytest.raises(ValueError, match="simulate_stream"):
+            next(PhotonSimulator(mini_scene, cfg).run_batches(100))
+
+    def test_scalar_workers_rejected_at_config(self):
+        """The scalar engine cannot even configure a pool — the config
+        itself rejects the combination (the other engine's guard)."""
+        with pytest.raises(ValueError, match="vector"):
+            SimulationConfig(n_photons=200, engine="scalar", workers=3)
+
+    def test_vector_run_batches_single_worker_ok(self, mini_scene):
+        cfg = SimulationConfig(n_photons=120, engine="vector", workers=1)
+        results = list(PhotonSimulator(mini_scene, cfg).run_batches(60))
+        assert len(results) == 2
+        assert results[-1].forest.photons_emitted == 120
+
 
 class TestMemoryGrowth:
     def test_forest_grows_sublinearly_late(self, mini_scene):

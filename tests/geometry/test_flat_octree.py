@@ -157,8 +157,11 @@ class TestEngineIntegration:
         assert VectorEngine(lab_small).accel == "flat"
 
     def test_legacy_prune_alias(self, cornell):
-        assert VectorEngine(cornell, prune=True).accel == "octree"
-        assert VectorEngine(cornell, prune=False).accel == "linear"
+        """prune= keeps its PR 1 behaviour but is formally deprecated."""
+        with pytest.warns(DeprecationWarning, match="prune"):
+            assert VectorEngine(cornell, prune=True).accel == "octree"
+        with pytest.warns(DeprecationWarning, match="prune"):
+            assert VectorEngine(cornell, prune=False).accel == "linear"
         with pytest.raises(ValueError):
             VectorEngine(cornell, accel="flat", prune=True)
 

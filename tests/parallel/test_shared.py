@@ -178,6 +178,19 @@ class TestSharedVector:
         result = run_shared(cornell, config, 4)
         assert result.lock_contention == 0
 
+    def test_precompiled_arrays_reused(self, cornell, vector_reference):
+        """run_shared(arrays=) traces on caller-compiled arrays (e.g. a
+        SceneProgram's) and still lands on the serial vector bytes."""
+        from repro.api import SceneProgram
+
+        config = SharedConfig(n_photons=800, seed=0xBEEF, engine="vector")
+        result = run_shared(
+            cornell, config, 3, arrays=SceneProgram.compile(cornell).arrays
+        )
+        assert json.dumps(forest_to_dict(result.forest)) == json.dumps(
+            forest_to_dict(vector_reference.forest)
+        )
+
     def test_worker_shares_and_invariants(self, cornell):
         config = SharedConfig(n_photons=401, seed=5, engine="vector")
         result = run_shared(cornell, config, 4)

@@ -230,6 +230,42 @@ class TestPooledRuns:
         assert _forest_bytes(first.forest) == _forest_bytes(reference.forest)
         assert leaked_segments() == []
 
+    def test_pool_publishes_caller_arrays(self, cornell, reference):
+        """arrays= lets a pool publish pre-compiled arrays instead of
+        recompiling the scene; answers and cleanup are unchanged."""
+        from repro.core import SceneArrays
+
+        precompiled = SceneArrays(cornell)
+        config = SimulationConfig(
+            n_photons=600, seed=0xC0FFEE, engine="vector",
+            workers=2, share_plane="on",
+        )
+        with PhotonPool(cornell, config, arrays=precompiled) as pool:
+            assert pool.transport == "plane"
+            assert set(pool.worker_transports()) == {"plane"}
+            result = pool.run()
+        assert _forest_bytes(result.forest) == _forest_bytes(reference.forest)
+        assert leaked_segments() == []
+
+    def test_pool_attaches_external_plane_without_owning_it(self, cornell, reference):
+        """plane_handle= pools attach a registry/session-owned segment
+        and must NOT unlink it on close — the owner does."""
+        from repro.core import SceneArrays
+        from repro.parallel.shmplane import publish
+
+        config = SimulationConfig(
+            n_photons=600, seed=0xC0FFEE, engine="vector", workers=2,
+        )
+        with publish(SceneArrays(cornell)) as plane:
+            with PhotonPool(cornell, config, plane_handle=plane.handle) as pool:
+                assert pool.transport == "plane"
+                assert set(pool.worker_transports()) == {"plane"}
+                result = pool.run()
+            # The pool is closed; the externally owned segment survives.
+            assert leaked_segments() != []
+        assert leaked_segments() == []
+        assert _forest_bytes(result.forest) == _forest_bytes(reference.forest)
+
     def test_worker_exception_releases_segment(self, cornell):
         config = SimulationConfig(
             n_photons=100, seed=1, engine="vector", workers=2, share_plane="on"

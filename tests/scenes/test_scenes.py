@@ -120,3 +120,51 @@ class TestSceneSanity:
         res = PhotonSimulator(scene, SimulationConfig(n_photons=50)).run()
         res.forest.check_invariants()
         assert res.forest.total_tallies >= 50
+
+
+class TestDefaultCameras:
+    """Viewing defaults travel with the scene (PR 4: registry fold-in)."""
+
+    def test_registered_scenes_carry_their_camera(self):
+        from repro.scenes import (
+            CORNELL_DEFAULT_CAMERA,
+            HARPSICHORD_DEFAULT_CAMERA,
+            LAB_DEFAULT_CAMERA,
+        )
+
+        expected = {
+            "cornell-box": CORNELL_DEFAULT_CAMERA,
+            "harpsichord-room": HARPSICHORD_DEFAULT_CAMERA,
+            "computer-lab": LAB_DEFAULT_CAMERA,
+        }
+        for name, camera in expected.items():
+            assert build_scene(name).default_camera == camera
+
+    def test_unregistered_scene_derives_framing_camera(self, mini_scene):
+        """A scene built without a camera frames itself from its bounds
+        instead of inheriting somebody else's hardcoded viewpoint."""
+        camera = mini_scene.default_camera
+        box = mini_scene.bounds()
+        assert camera["position"].z > box.hi.z  # eye outside the +z face
+        look = camera["look_at"]
+        assert box.lo.x <= look.x <= box.hi.x
+        assert box.lo.y <= look.y <= box.hi.y
+        assert box.lo.z <= look.z <= box.hi.z
+
+    def test_default_camera_builds_a_camera(self, mini_scene):
+        from repro.core import Camera
+
+        camera = Camera(width=8, height=6, **mini_scene.default_camera)
+        assert camera.width == 8
+
+    def test_partial_default_camera_rejected_at_construction(self):
+        """A camera dict missing required keys fails at Scene build time,
+        not as a KeyError inside `repro view`."""
+        from repro.geometry import Scene, Vec3, axis_rect
+        from repro.geometry.material import emitter
+
+        patches = [
+            axis_rect("y", 2.0, (0, 1), (0, 1), emitter("lamp", 5, 5, 5)),
+        ]
+        with pytest.raises(ValueError, match="look_at"):
+            Scene(patches, default_camera={"position": Vec3(0, 1, 3)})

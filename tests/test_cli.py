@@ -41,6 +41,14 @@ class TestParser:
         )
         assert args.accel == "linear"
 
+    def test_repeat_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "s", "--repeat", "3", "--out", "x.json"]
+        )
+        assert args.repeat == 3
+        args = build_parser().parse_args(["simulate", "s", "--out", "x.json"])
+        assert args.repeat == 1
+
 
 class TestSimulateUsageErrors:
     """Config rejections surface as argparse usage errors, not tracebacks."""
@@ -64,6 +72,15 @@ class TestSimulateUsageErrors:
             )
         assert excinfo.value.code == 2
         assert "substream" in capsys.readouterr().err
+
+    def test_zero_repeat_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "cornell-box", "--photons", "10",
+                 "--repeat", "0", "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        assert "--repeat" in capsys.readouterr().err
 
 
 class TestScenesCommand:
@@ -151,6 +168,47 @@ class TestSimulateViewWorkflow:
                 ["simulate", "atrium", "--photons", "10", "--out", str(tmp_path / "x")],
                 out=io.StringIO(),
             )
+
+    def test_repeat_serves_warm_requests(self, tmp_path):
+        """--repeat N runs one warm session; per-request lines appear and
+        the answer file is the same as a single run's."""
+        answer = tmp_path / "a.json"
+        out = io.StringIO()
+        rc = main(
+            ["simulate", "cornell-box", "--photons", "200", "--engine",
+             "vector", "--repeat", "3", "--out", str(answer)],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "request 1/3" in text and "request 3/3" in text
+        assert "warm" in text
+        single = tmp_path / "b.json"
+        main(
+            ["simulate", "cornell-box", "--photons", "200", "--engine",
+             "vector", "--out", str(single)],
+            out=io.StringIO(),
+        )
+        assert answer.read_bytes() == single.read_bytes()
+
+    def test_view_default_camera_comes_from_scene(self, tmp_path):
+        """`repro view` with no --eye frames the scene's registered
+        default camera (folded into the scene registry)."""
+        answer = tmp_path / "a.json"
+        main(
+            ["simulate", "cornell-box", "--photons", "200", "--out", str(answer)],
+            out=io.StringIO(),
+        )
+        ppm = tmp_path / "default.ppm"
+        rc = main(
+            ["view", "cornell-box", str(answer), "--out", str(ppm),
+             "--width", "8", "--height", "8"],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        from repro.scenes import CORNELL_DEFAULT_CAMERA, cornell_box
+
+        assert cornell_box().default_camera == CORNELL_DEFAULT_CAMERA
 
 
 class TestTraceCommand:

@@ -2,18 +2,21 @@
 
 Documentation rots when nothing executes it.  These tests extract every
 fenced ``bash`` block from the user-facing docs and (a) argparse-check
-each ``python -m repro`` command against the real CLI parser, and (b)
+each ``python -m repro`` command against the real CLI parser, (b)
 *execute* the README quickstart pipeline end-to-end — simulate with
-every engine variant the README shows, then view — with the photon
-budget scaled down so the whole thing costs seconds.  The CI docs job
-runs exactly this module, so a README edit that breaks a flag or a file
-path fails the build rather than the next new contributor.
+every engine variant the README shows, then view — and (c) execute
+**every** ``examples/*.py`` script under a tiny photon budget, so an
+API change that breaks an example fails CI instead of the next reader.
+The CI docs job runs exactly this module.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import re
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -111,3 +114,47 @@ class TestReadmeQuickstartExecutes:
         assert (tmp_path / "cornell.answer.json").exists()
         assert (tmp_path / "lab.answer.json").exists()
         assert (tmp_path / "cornell.ppm").exists()
+
+
+#: Tiny-budget argv for every example script.  A new example must be
+#: registered here (the coverage test below fails otherwise), which is
+#: how "all examples execute in CI" stays true as the directory grows.
+EXAMPLE_BUDGETS = {
+    "quickstart.py": ["--photons", "200", "--width", "24", "--height", "18"],
+    "architectural_daylight.py": ["--photons", "300"],
+    "cluster_study.py": ["--photons", "200", "--ranks", "2"],
+    "polarization_study.py": ["--photons", "200"],
+    "virtual_walkthrough.py": ["--photons", "200", "--frames", "2",
+                               "--size", "24"],
+}
+
+
+class TestExamplesExecute:
+    """Every example script runs end-to-end at a tiny budget."""
+
+    def test_every_example_has_a_budget(self):
+        on_disk = {p.name for p in (REPO_ROOT / "examples").glob("*.py")}
+        assert on_disk == set(EXAMPLE_BUDGETS), (
+            "examples/ and EXAMPLE_BUDGETS drifted — register the new "
+            "script with a tiny-budget argv"
+        )
+
+    @pytest.mark.parametrize("script", sorted(EXAMPLE_BUDGETS))
+    def test_example_runs(self, script, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "examples" / script),
+             *EXAMPLE_BUDGETS[script]],
+            cwd=tmp_path,  # artefacts (ppm/json) land in the tmp dir
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, (
+            f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+            f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+        )
