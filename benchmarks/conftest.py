@@ -6,10 +6,37 @@ the ``engine`` fixture without duplicating them).  Every bench prints
 the table/figure it regenerates (run with ``-s`` to see them) and
 asserts the published *shape* — orderings, dips, crossovers — never
 absolute numbers, per EXPERIMENTS.md.
+
+Perf trajectory: transport benches additionally call
+:func:`write_bench_json` so the measured numbers land in committed
+``benchmarks/BENCH_<name>.json`` files — machine-readable snapshots a
+later session (or a regression dashboard) can diff instead of
+re-deriving rates from prose.  Absolute numbers there are
+container-specific context, not assertions.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 #: Reading time for fixed-time speedups, chosen late enough that every
 #: platform's startup has amortised.
 SPEEDUP_READ_TIME = 250.0
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Record *payload* as ``benchmarks/BENCH_<name>.json`` (committed).
+
+    A ``host`` stanza is added so a diff across commits can tell a code
+    change from a container change.  Keys are sorted for stable diffs.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    record = dict(payload)
+    record["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

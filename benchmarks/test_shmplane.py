@@ -17,8 +17,10 @@ transports produce byte-identical forests, the plane transport really
 attaches (per-worker re-compilation eliminated — the acceptance
 criterion), the handle stays kilobytes against a megabyte-scale scene
 pickle, and no segment survives the run.  The honest numbers land in the
-printed table; on this container's single core the wall-clock win is
-startup-bound, exactly as the transport analysis predicts.
+printed table and in ``benchmarks/BENCH_shmplane.json`` (the
+machine-readable perf trajectory); on this container's single core the
+wall-clock win is startup-bound, exactly as the transport analysis
+predicts.
 """
 
 from __future__ import annotations
@@ -33,6 +35,8 @@ from repro.core import SimulationConfig, forest_to_dict
 from repro.parallel.procpool import PhotonPool
 from repro.parallel.shmplane import leaked_segments
 from repro.perf import format_table
+
+from .conftest import write_bench_json
 
 SEED = 0x1234ABCD330E
 PHOTONS = 2_000
@@ -100,18 +104,30 @@ def test_transports_byte_identical(transport_runs):
     assert transport_runs["on"]["bytes"] == transport_runs["on"]["repeat_bytes"]
 
 
-def test_handle_is_kilobytes_not_megabytes(request):
-    """What crosses the process boundary: a handle ~1000x smaller than
-    the scene pickle the fallback transport ships per worker."""
+@pytest.fixture(scope="module")
+def handle_sizes(request) -> dict:
+    """Inbound bytes-over-boundary per transport: handle vs scene pickle."""
     from repro.core import SceneArrays
     from repro.parallel.shmplane import publish
 
     lab = request.getfixturevalue("scenes")["computer-lab"]
     with publish(SceneArrays(lab)) as plane:
         handle_bytes = len(pickle.dumps(plane.handle))
-    scene_bytes = len(pickle.dumps(lab))
+        payload_bytes = plane.handle.nbytes
+    return {
+        "handle_bytes": handle_bytes,
+        "payload_bytes": payload_bytes,
+        "scene_pickle_bytes": len(pickle.dumps(lab)),
+    }
+
+
+def test_handle_is_kilobytes_not_megabytes(handle_sizes):
+    """What crosses the process boundary: a handle ~1000x smaller than
+    the scene pickle the fallback transport ships per worker."""
+    handle_bytes = handle_sizes["handle_bytes"]
+    scene_bytes = handle_sizes["scene_pickle_bytes"]
     print(f"\nplane handle: {handle_bytes:,} B; scene pickle: {scene_bytes:,} B; "
-          f"payload (shared once): {plane.handle.nbytes:,} B")
+          f"payload (shared once): {handle_sizes['payload_bytes']:,} B")
     assert handle_bytes < 16_384
     assert handle_bytes * 100 < scene_bytes
 
@@ -213,6 +229,37 @@ def test_warm_request_beats_cold_pickle_startup(session_requests):
     """Request #2 pays tracing only, so it must land under the cold
     pickle path, which re-spawns workers and recompiles per worker."""
     assert session_requests["second_s"] < session_requests["cold_pickle_s"]
+
+
+def test_record_bench_json(transport_runs, session_requests, handle_sizes):
+    """Write the machine-readable perf snapshot (committed)."""
+    path = write_bench_json("shmplane", {
+        "scene": "computer-lab",
+        "workers": WORKERS,
+        "photons": PHOTONS,
+        "transports": {
+            mode: {
+                "startup_ms": round(transport_runs[mode]["startup_s"] * 1e3, 1),
+                "steady_photons_per_s":
+                    round(transport_runs[mode]["steady_rate"], 1),
+                "worker_transports": sorted(set(
+                    transport_runs[mode]["transports"]
+                )),
+            }
+            for mode in ("on", "off")
+        },
+        "boundary_bytes": {
+            "plane_handle": handle_sizes["handle_bytes"],
+            "scene_pickle_per_worker": handle_sizes["scene_pickle_bytes"],
+            "segment_payload_shared_once": handle_sizes["payload_bytes"],
+        },
+        "warm_session": {
+            "first_request_s": round(session_requests["first_s"], 4),
+            "second_request_s": round(session_requests["second_s"], 4),
+            "cold_pickle_pool_s": round(session_requests["cold_pickle_s"], 4),
+        },
+    })
+    assert path.exists()
 
 
 def test_session_bench_leaves_no_segments(session_requests):

@@ -32,6 +32,7 @@ from ..core.bintree import SplitPolicy
 from ..core.simulator import (
     ACCELS,
     ENGINES,
+    RESULT_PLANE_MODES,
     RNG_MODES,
     SHARE_PLANE_MODES,
     SimulationConfig,
@@ -104,6 +105,18 @@ class SessionOptions:
             (:data:`repro.core.simulator.SHARE_PLANE_MODES`); plane
             segments are shared across sessions through
             :func:`repro.parallel.shmplane.plane_registry`.
+        result_plane: Event *return* transport for multi-process
+            sessions (:data:`repro.core.simulator.RESULT_PLANE_MODES`):
+            shared-memory result blocks (``"on"``/``"auto"``) or the
+            legacy event pickle (``"off"``).  The session's pool owns
+            the blocks and recycles them across warm requests.
+        cache_results: Memoize :meth:`~repro.api.RenderSession.simulate`
+            results keyed by the (frozen, hashable)
+            :class:`SimulateRequest`: a repeated request returns the
+            identical answer object without re-tracing.  Off by default
+            — the cache holds every distinct answer forest alive for
+            the session's lifetime, a trade only a serving frontend
+            should opt into.
     """
 
     engine: str = "vector"
@@ -111,6 +124,8 @@ class SessionOptions:
     workers: int = 1
     batch_size: int = 4096
     share_plane: str = "auto"
+    result_plane: str = "auto"
+    cache_results: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -121,6 +136,11 @@ class SessionOptions:
             raise ValueError(
                 f"unknown share_plane {self.share_plane!r}; "
                 f"pick from {SHARE_PLANE_MODES}"
+            )
+        if self.result_plane not in RESULT_PLANE_MODES:
+            raise ValueError(
+                f"unknown result_plane {self.result_plane!r}; "
+                f"pick from {RESULT_PLANE_MODES}"
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -155,6 +175,7 @@ def merge_config(
         workers=options.workers,
         batch_size=options.batch_size,
         share_plane=options.share_plane,
+        result_plane=options.result_plane,
     )
 
 
@@ -181,5 +202,6 @@ def split_config(
         workers=config.workers,
         batch_size=config.batch_size,
         share_plane=config.share_plane,
+        result_plane=config.result_plane,
     )
     return request, options

@@ -18,12 +18,19 @@ lifetime and serves any number of requests against them:
   :func:`repro.cluster.workload.profile_scene`, measured on the
   session's engine without recompiling the scene.
 
-Warm-path contract (pinned by ``benchmarks/test_shmplane.py``): request
-#2 on a session performs **zero** scene recompiles, **zero** plane
-publishes, and **zero** worker spawns — only tracing.  Multi-process
-sessions share one published plane per program across all the serving
-process's concurrent sessions
-(:func:`repro.parallel.shmplane.plane_registry`).
+Warm-path contract (pinned by ``benchmarks/test_shmplane.py`` and
+``benchmarks/test_resultplane.py``): request #2 on a session performs
+**zero** scene recompiles, **zero** plane publishes, **zero** worker
+spawns, and **zero** result-block allocations — only tracing.  The
+session's persistent pool owns the shared-memory result blocks
+(:mod:`repro.parallel.resultplane`), so warm requests reuse the same
+block objects and :meth:`simulate_stream` serves every cumulative batch
+from the plane without per-batch event pickling.  Multi-process
+sessions share one published scene plane per program across all the
+serving process's concurrent sessions
+(:func:`repro.parallel.shmplane.plane_registry`); result blocks are
+budget-sized and per-pool, so they stay session-owned rather than
+registry-shared.
 
 Determinism contract: for equal requests, every session configuration —
 engine, accelerator, worker count, batch size, transport, streamed or
@@ -111,6 +118,9 @@ class RenderSession:
         self._holds_plane = False
         self._plane_handle = None
         self._closed = False
+        # SimulateRequest -> SimulationResult, active only under
+        # SessionOptions(cache_results=True); dies with the session.
+        self._result_cache: dict = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -131,6 +141,7 @@ class RenderSession:
             return
         self._closed = True
         self._engines.clear()
+        self._result_cache.clear()
         try:
             if self._pool is not None:
                 self._pool.close()
@@ -224,8 +235,19 @@ class RenderSession:
         ``PhotonSimulator(scene, config).run()`` for the merged config —
         the session only changes *when* compilation and worker startup
         happen, never a single tally.
+
+        Under ``SessionOptions(cache_results=True)`` a repeated request
+        (equal by value — requests are frozen and hashable for exactly
+        this) returns the **identical** answer object without
+        re-tracing; determinism makes the memoization sound, since
+        re-tracing an equal request could only reproduce equal bytes.
         """
         self._check_open()
+        if self.options.cache_results:
+            cached = self._result_cache.get(request)
+            if cached is not None:
+                self.requests_served += 1
+                return cached
         config = merge_config(request, self.options)
         if config.engine == "scalar":
             result = self._simulate_scalar(config)
@@ -233,6 +255,8 @@ class RenderSession:
             result = self._pool_for(request.fluorescence, config).run(config)
         else:
             result = self._engine_for(request.fluorescence).run(config)
+        if self.options.cache_results:
+            self._result_cache[request] = result
         self.requests_served += 1
         return result
 

@@ -105,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sim.add_argument(
+        "--result-plane",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "event return transport for --workers > 1: 'on' has workers "
+            "write tally events into preallocated shared-memory result "
+            "blocks and return tiny descriptors, 'off' pickles the events "
+            "back, 'auto' uses blocks whenever the platform has shared "
+            "memory; answers are byte-identical either way"
+        ),
+    )
+    p_sim.add_argument(
         "--batch-size",
         type=int,
         default=4096,
@@ -193,6 +205,7 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
             workers=args.workers,
             batch_size=args.batch_size,
             share_plane=args.share_plane,
+            result_plane=args.result_plane,
         )
         # Cross-field validation (vector forbids stream RNG, ...) lives
         # in the merged config; run it before provisioning anything.
@@ -213,10 +226,15 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
     if options.engine == "vector" and options.workers > 1:
         engine_label = f"vector x{options.workers} procs"
     with RenderSession(scene, options) as session:
+        warm_seconds = 0.0
+        total_seconds = 0.0
         for i in range(args.repeat):
             t0 = time.perf_counter()
             result = session.simulate(request)
             dt = time.perf_counter() - t0
+            total_seconds += dt
+            if i > 0:
+                warm_seconds += dt
             if args.repeat > 1:
                 phase = "cold: compile+publish+spawn" if i == 0 else "warm"
                 print(
@@ -225,6 +243,19 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
                     f"({args.photons / max(dt, 1e-9):,.0f}/s, {phase})",
                     file=out,
                 )
+        if args.repeat > 1:
+            # The serving number a warm session is provisioned for: the
+            # aggregate rate across every request, plus the warm-only
+            # rate that excludes request #1's one-time provisioning.
+            total_photons = args.photons * args.repeat
+            warm_photons = args.photons * (args.repeat - 1)
+            print(
+                f"aggregate: {args.repeat} requests, {total_photons:,} "
+                f"photons in {total_seconds:.2f}s "
+                f"({total_photons / max(total_seconds, 1e-9):,.0f}/s overall, "
+                f"{warm_photons / max(warm_seconds, 1e-9):,.0f}/s warm)",
+                file=out,
+            )
     result.forest.check_invariants()
     save_answer(result.forest, args.out)
     print(

@@ -68,6 +68,17 @@ ACCELS = ("auto", "flat", "octree", "linear")
 #: it and the scene is large enough to repay publishing).
 SHARE_PLANE_MODES = ("auto", "on", "off")
 
+#: Result-transport modes for the multi-process pool, selectable through
+#: :attr:`SimulationConfig.result_plane`: workers write tally events
+#: into preallocated shared-memory result blocks and return tiny
+#: descriptors (``"on"``), pickle the events back (``"off"``), or let
+#: the pool decide (``"auto"`` — blocks whenever the platform supports
+#: shared memory; unlike the scene plane there is no size threshold,
+#: because result bytes scale with the photon budget).  Defined here —
+#: not in the NumPy-heavy plane modules — so config validation stays
+#: import-cheap; :mod:`repro.parallel.resultplane` re-exports it.
+RESULT_PLANE_MODES = ("auto", "on", "off")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -109,6 +120,14 @@ class SimulationConfig:
             is large enough to repay publishing.  Answers are
             byte-identical either way — this knob trades startup cost
             and memory only.  Ignored when ``workers == 1``.
+        result_plane: Event *return* transport for multi-process runs:
+            ``"on"`` has every worker write its tally events into a
+            preallocated shared-memory result block and return a tiny
+            descriptor (:mod:`repro.parallel.resultplane`), ``"off"``
+            pickles the events back (the legacy transport), ``"auto"``
+            uses blocks whenever the platform has shared memory.
+            Answers are byte-identical either way — this knob trades
+            bytes-over-boundary only.  Ignored when ``workers == 1``.
     """
 
     n_photons: int
@@ -121,6 +140,7 @@ class SimulationConfig:
     workers: int = 1
     accel: str = "auto"
     share_plane: str = "auto"
+    result_plane: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
@@ -142,6 +162,11 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown share_plane {self.share_plane!r}; "
                 f"pick from {SHARE_PLANE_MODES}"
+            )
+        if self.result_plane not in RESULT_PLANE_MODES:
+            raise ValueError(
+                f"unknown result_plane {self.result_plane!r}; "
+                f"pick from {RESULT_PLANE_MODES}"
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")

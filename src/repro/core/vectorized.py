@@ -92,6 +92,7 @@ __all__ = [
     "photon_substream",
     "substream_states",
     "SceneArrays",
+    "EVENT_FIELDS",
     "EventBatch",
     "EmissionBatch",
     "VectorEngine",
@@ -341,6 +342,24 @@ class SceneArrays:
         return self
 
 
+#: The canonical wire layout of an :class:`EventBatch`: column name and
+#: dtype, in field order.  Every transport that moves events between
+#: processes — the pickle fallback and the shared-memory result plane
+#: (:mod:`repro.parallel.resultplane`) — writes and reads exactly these
+#: columns in exactly this order, so the two transports cannot drift.
+#: All eight columns are 8-byte little-endian scalars by construction.
+EVENT_FIELDS: tuple[tuple[str, str], ...] = (
+    ("gidx", "<i8"),
+    ("seq", "<i8"),
+    ("patch", "<i8"),
+    ("s", "<f8"),
+    ("t", "<f8"),
+    ("theta", "<f8"),
+    ("r2", "<f8"),
+    ("band", "<i8"),
+)
+
+
 @dataclass
 class EventBatch:
     """Tally events in canonical (photon, bounce) order.
@@ -373,6 +392,37 @@ class EventBatch:
             np.concatenate([getattr(b, name) for b in batches])
             for name in ("gidx", "seq", "patch", "s", "t", "theta", "r2", "band")
         ))
+
+    # -- raw-buffer codecs -----------------------------------------------
+    #
+    # The export surface of the shared-memory result plane
+    # (:mod:`repro.parallel.resultplane`), mirroring
+    # :meth:`SceneArrays.export_fields`/:meth:`SceneArrays.from_fields`
+    # on the inbound scene plane: a worker copies these columns into its
+    # preallocated result block, and the parent rebuilds a zero-copy
+    # batch from views of the same bytes.
+
+    def export_fields(self) -> dict:
+        """Column name -> contiguous array in the :data:`EVENT_FIELDS` dtypes.
+
+        Emission rows carry int64/float64 columns already; the cast is a
+        no-op there and a normalization everywhere else, so both wire
+        transports always carry identical bytes.
+        """
+        return {
+            name: np.ascontiguousarray(getattr(self, name), dtype=np.dtype(dt))
+            for name, dt in EVENT_FIELDS
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict) -> "EventBatch":
+        """Rebuild from :meth:`export_fields` output (or views onto it).
+
+        Zero-copy by construction: every column aliases the buffer in
+        *fields*, which is what lets the parent read a worker's result
+        block without deserializing anything.
+        """
+        return cls(*(fields[name] for name, _ in EVENT_FIELDS))
 
     def sorted_canonical(self) -> "EventBatch":
         """Rows ordered by (photon index, bounce sequence)."""

@@ -9,13 +9,19 @@ workers and reassembles the answer in two phases:
 
 1. **Trace phase** — each worker traces a contiguous shard of photon
    indices (per-photon counter-based substreams make shards independent)
-   and returns its tally events as packed NumPy arrays.
+   and writes its tally events into a preallocated shared-memory result
+   block, returning only a tiny descriptor
+   (:class:`repro.parallel.resultplane.ShardResult`); with the result
+   plane off, the events ride the pickle as packed NumPy arrays.
 
 2. **Build phase** — patch ids are partitioned round-robin into
    ownership sections; each worker replays *its* patches' events (in
    canonical photon order, so every tree sees exactly the serial tally
-   sequence) into a private :class:`BinForest`.  The parent unions the
-   disjoint sections with the existing distributed-merge machinery
+   sequence) into a private :class:`BinForest`.  With the result plane
+   on, workers re-read their owned rows straight from the shard blocks
+   (:func:`repro.parallel.resultplane.take_owned`) instead of receiving
+   them by pickle.  The parent unions the disjoint sections with the
+   existing distributed-merge machinery
    (:func:`repro.parallel.distributed.merge_rank_forests`).
 
 Scene transport: the shared-memory plane
@@ -31,6 +37,20 @@ transport: ``"on"``, ``"off"`` (pickle the scene, the original
 behaviour), or ``"auto"`` (plane when ``shared_memory`` exists and the
 scene is large enough to repay publishing).  Both transports carry the
 exact same bytes, so answers are identical either way.
+
+Result transport: the shared-memory result plane
+------------------------------------------------
+``SimulationConfig.result_plane`` selects the *outbound* transport the
+same way: ``"on"``/``"off"``/``"auto"`` (plane whenever the platform has
+shared memory — result bytes scale with the photon budget, so there is
+no scene-size threshold).  :class:`PhotonPool` allocates the per-shard
+blocks lazily at the first trace, recycles them verbatim across warm
+requests, regrows them (old segment unlinked first) when a bigger
+budget arrives, and unlinks them at close — the same no-leak contract
+the scene plane honours.  With the plane live, a request's events cross
+the process boundary as O(workers) descriptors in both phases; see
+:mod:`repro.parallel.resultplane` for the block layout and the
+overflow/fallback rules.
 
 Determinism contract
 --------------------
@@ -67,6 +87,7 @@ from ..core.bintree import BinForest, SplitPolicy
 from ..core.photon import NUM_BANDS
 from ..core.simulator import SimulationConfig, SimulationResult, TraceStats
 from ..core.vectorized import (
+    EVENT_FIELDS,
     PRUNE_PATCH_THRESHOLD,
     EventBatch,
     SceneArrays,
@@ -74,7 +95,16 @@ from ..core.vectorized import (
     apply_events,
 )
 from ..geometry.scene import Scene
+from . import resultplane
 from .distributed import merge_rank_forests, rank_share
+from .resultplane import (
+    ResultPlane,
+    ShardResult,
+    block_capacity,
+    gather_shards,
+    pack_shard,
+    resolve_result_plane,
+)
 
 __all__ = [
     "PhotonPool",
@@ -83,6 +113,7 @@ __all__ = [
     "build_forest_parallel",
     "partition_patches",
     "resolve_share_plane",
+    "resolve_result_plane",
     "PLANE_MIN_PATCHES",
 ]
 
@@ -109,10 +140,15 @@ def _shard_starts(n_photons: int, workers: int) -> list[tuple[int, int]]:
     return starts
 
 
-def _pack_events(events: EventBatch) -> tuple:
-    """EventBatch -> plain array tuple (the pool's wire format)."""
-    return (events.gidx, events.seq, events.patch, events.s, events.t,
-            events.theta, events.r2, events.band)
+def _event_columns(events: EventBatch) -> tuple:
+    """EventBatch -> plain array tuple (the pickle wire format).
+
+    Column order is :data:`repro.core.vectorized.EVENT_FIELDS` — the
+    same layout the result blocks use, so the two transports carry
+    identical bytes.
+    """
+    fields = events.export_fields()
+    return tuple(fields[name] for name, _ in EVENT_FIELDS)
 
 
 def _trace_shard(
@@ -123,18 +159,20 @@ def _trace_shard(
     seed: int,
     start: int,
     count: int,
-) -> tuple[tuple, TraceStats]:
+) -> ShardResult:
     """Self-contained pool target: trace photons ``start .. start+count``.
 
     Builds a throwaway engine from the pickled *scene* — the legacy
     transport, kept for injected in-process pools (tests) and as the
-    semantics reference for the persistent-pool path below.
+    semantics reference for the persistent-pool path below.  Always
+    returns an inline-payload :class:`ShardResult` (nothing forked, so
+    there is no plane to write into).
     """
     engine = VectorEngine(
         scene, fluorescence=fluorescence, batch_size=batch_size, accel=accel
     )
     events, stats = engine.trace_range(seed, start, count)
-    return _pack_events(events.sorted_canonical()), stats
+    return pack_shard(events.sorted_canonical(), stats, None, -1)
 
 
 #: Per-process engine of a :class:`PhotonPool` worker, built once by the
@@ -180,10 +218,17 @@ def _init_pool_worker(
         report_queue.put((os.getpid(), transport))
 
 
-def _trace_shard_pooled(seed: int, start: int, count: int) -> tuple[tuple, TraceStats]:
-    """Pool target for persistent workers: trace on the initializer's engine."""
+def _trace_shard_pooled(
+    seed: int, start: int, count: int, result_handle, slot: int
+) -> ShardResult:
+    """Pool target for persistent workers: trace on the initializer's engine.
+
+    With a *result_handle* the canonical events land in result block
+    *slot* and only the descriptor returns; without one they ride the
+    pickle (the legacy return transport).
+    """
     events, stats = _POOL_ENGINE.trace_range(seed, start, count)
-    return _pack_events(events.sorted_canonical()), stats
+    return pack_shard(events.sorted_canonical(), stats, result_handle, slot)
 
 
 @dataclass
@@ -200,24 +245,30 @@ def _build_section(policy: SplitPolicy, arrays: tuple) -> _Section:
     return _Section(forest)
 
 
+def _build_section_pooled(
+    policy: SplitPolicy,
+    result_handle,
+    counts: tuple,
+    worker_id: int,
+    workers: int,
+) -> _Section:
+    """Pool target: build one ownership section from the result blocks.
+
+    The zero-pickle build phase: the job carries only the block handle
+    plus per-slot live counts; the worker re-reads its owned rows from
+    the blocks the trace phase just filled
+    (:func:`repro.parallel.resultplane.take_owned`).
+    """
+    forest = BinForest(policy)
+    apply_events(
+        forest, resultplane.take_owned(result_handle, counts, worker_id, workers)
+    )
+    return _Section(forest)
+
+
 def partition_patches(patch_ids: np.ndarray, workers: int) -> np.ndarray:
     """Round-robin patch -> worker ownership (stable for any worker count)."""
     return patch_ids % workers
-
-
-def _gather_shards(results) -> tuple[EventBatch, TraceStats]:
-    """Concatenate shard results (already canonically sorted per shard).
-
-    Shards cover contiguous ascending index ranges and ``starmap``
-    preserves job order, so the concatenation is already globally
-    canonical; re-sorting here would be serial parent-side overhead.
-    """
-    stats = TraceStats()
-    blocks = []
-    for arrays, shard_stats in results:
-        stats.merge(shard_stats)
-        blocks.append(EventBatch(*arrays))
-    return EventBatch.concat(blocks), stats
 
 
 def trace_events_parallel(
@@ -227,7 +278,8 @@ def trace_events_parallel(
 
     The legacy entry point kept for pool-shaped in-process executors;
     :class:`PhotonPool` runs the same phase against persistent workers
-    without re-shipping the scene.
+    without re-shipping the scene (and, with the result plane, without
+    shipping the events back either).
     """
     jobs = [
         (scene, config.fluorescence, config.batch_size, config.accel,
@@ -235,28 +287,39 @@ def trace_events_parallel(
         for start, count in _shard_starts(config.n_photons, config.workers)
         if count > 0
     ]
-    return _gather_shards(pool.starmap(_trace_shard, jobs))
+    return gather_shards(pool.starmap(_trace_shard, jobs), None)
+
+
+def _reorder_first_tally(merged: BinForest, events: EventBatch) -> BinForest:
+    """Present trees in first-tally order so the merged forest serialises
+    byte-for-byte like a single-process vector run."""
+    unique, first_index = np.unique(events.patch, return_index=True)
+    order = unique[np.argsort(first_index)]
+    merged.trees = {int(pid): merged.trees[int(pid)] for pid in order}
+    return merged
 
 
 def build_forest_parallel(
     pool, events: EventBatch, policy: SplitPolicy, workers: int
 ) -> BinForest:
-    """Phase 2: ownership-sharded forest build + distributed-style merge."""
+    """Phase 2: ownership-sharded forest build + distributed-style merge.
+
+    The pickle-transport build, used by injected pools and as the
+    fallback when any trace shard returned an inline payload;
+    :meth:`PhotonPool.run` prefers the block-reading build
+    (:func:`_build_section_pooled`) when the whole trace phase went
+    through the result plane.
+    """
     owner = partition_patches(events.patch, workers)
     jobs = []
     for w in range(workers):
         rows = np.nonzero(owner == w)[0]
         if rows.size == 0:
             continue
-        jobs.append((policy, _pack_events(events.take(rows))))
+        jobs.append((policy, _event_columns(events.take(rows))))
     sections: Sequence[_Section] = pool.starmap(_build_section, jobs) if jobs else []
     merged = merge_rank_forests(sections, policy)
-    # Present trees in first-tally order so the merged forest serialises
-    # byte-for-byte like a single-process vector run.
-    unique, first_index = np.unique(events.patch, return_index=True)
-    order = unique[np.argsort(first_index)]
-    merged.trees = {int(pid): merged.trees[int(pid)] for pid in order}
-    return merged
+    return _reorder_first_tally(merged, events)
 
 
 def resolve_share_plane(mode: str, scene: Scene) -> bool:
@@ -303,6 +366,9 @@ class PhotonPool:
             (``fluorescence``, ``batch_size``, ``accel``) come from
             here, as does the default ``share_plane`` mode.
         share_plane: Optional override of ``config.share_plane``.
+        result_plane: Optional override of ``config.result_plane`` (the
+            outbound event transport; see
+            :mod:`repro.parallel.resultplane`).
         arrays: Optional pre-compiled :class:`SceneArrays` for *scene*.
             When this pool itself publishes a plane it publishes these
             instead of recompiling the scene — for direct pool users
@@ -323,6 +389,7 @@ class PhotonPool:
         config: SimulationConfig,
         share_plane: Optional[str] = None,
         *,
+        result_plane: Optional[str] = None,
         arrays: Optional[SceneArrays] = None,
         plane_handle=None,
     ) -> None:
@@ -330,6 +397,9 @@ class PhotonPool:
         self.config = config
         self.share_plane = (
             share_plane if share_plane is not None else config.share_plane
+        )
+        self.result_plane_mode = (
+            result_plane if result_plane is not None else config.result_plane
         )
         self.arrays = arrays
         self.plane_handle = plane_handle
@@ -339,11 +409,27 @@ class PhotonPool:
         self._transports: Optional[list[str]] = None
         #: Transport actually chosen at :meth:`start` ("plane"/"pickle").
         self.transport = "pickle"
+        #: The per-shard result blocks, allocated lazily by the first
+        #: trace and recycled across warm requests (None until then, or
+        #: when the result transport resolved to pickle).
+        self.result_blocks: Optional[ResultPlane] = None
+        self._use_result_plane = False
+        #: The previous trace call's :class:`ShardResult` descriptors in
+        #: job order, with inline payloads stripped after the gather
+        #: (:meth:`run` reuses the slot/count fields for the build
+        #: phase).  ``last_result_wire_bytes`` records what the full
+        #: results — payloads included — cost to cross the process
+        #: boundary; the transport benchmarks read it.
+        self.last_shard_results: list[ShardResult] = []
+        self.last_result_wire_bytes = 0
 
     def start(self) -> "PhotonPool":
         """Publish the plane (if selected) and fork the workers."""
         if self._pool is not None:
             return self
+        # Resolve the outbound transport up front so result_plane="on"
+        # fails loudly at start, not at the first trace.
+        self._use_result_plane = resolve_result_plane(self.result_plane_mode)
         handle = None
         scene_arg: Optional[Scene] = self.scene
         if self.plane_handle is not None:
@@ -419,10 +505,86 @@ class PhotonPool:
                 BinForest(config.policy), TraceStats(), config, self.scene.name
             )
         events, stats = self.trace_range(config.seed, 0, config.n_photons)
-        forest = build_forest_parallel(
-            self._pool, events, config.policy, workers
-        )
+        results = self.last_shard_results
+        if (
+            self.result_blocks is not None
+            and results
+            and all(r.slot >= 0 for r in results)
+        ):
+            # Zero-pickle build: workers re-read their owned rows from
+            # the shard blocks still holding this trace's events.
+            forest = self._build_forest_from_blocks(
+                events, results, config.policy, workers
+            )
+        else:
+            forest = build_forest_parallel(
+                self._pool, events, config.policy, workers
+            )
         return _finish_result(forest, events, stats, config, self.scene.name)
+
+    def _build_forest_from_blocks(
+        self,
+        events: EventBatch,
+        results: Sequence[ShardResult],
+        policy: SplitPolicy,
+        workers: int,
+    ) -> BinForest:
+        """Phase 2 over the result plane: O(1) job arguments per section.
+
+        Each non-empty ownership section gets one job carrying only the
+        block handle, the per-slot live counts, and its owner id; the
+        worker re-reads and filters the blocks itself
+        (:func:`_build_section_pooled`).  Empty sections are skipped
+        parent-side, exactly like the pickle build.
+        """
+        counts = [0] * self.result_blocks.blocks
+        for r in results:
+            counts[r.slot] = r.count
+        present = np.unique(events.patch % workers)
+        jobs = [
+            (policy, self.result_blocks.handle, tuple(counts), int(w), workers)
+            for w in present
+        ]
+        sections: Sequence[_Section] = (
+            self._pool.starmap(_build_section_pooled, jobs) if jobs else []
+        )
+        merged = merge_rank_forests(sections, policy)
+        return _reorder_first_tally(merged, events)
+
+    def _ensure_result_blocks(self, max_share: int) -> Optional[ResultPlane]:
+        """The result blocks for a trace whose largest shard is *max_share*.
+
+        Allocates on first use, recycles when the existing blocks fit,
+        regrows (unlinking the old segment first) when the budget grew.
+        An allocation failure under ``"auto"`` warns loudly and drops to
+        the pickle transport for the pool's remaining life; ``"on"``
+        propagates the error.
+        """
+        if not self._use_result_plane:
+            return None
+        capacity = block_capacity(max_share)
+        blocks = self.config.workers
+        if self.result_blocks is not None:
+            if self.result_blocks.fits(blocks, capacity):
+                return self.result_blocks
+            old, self.result_blocks = self.result_blocks, None
+            old.close()
+            old.unlink()
+        try:
+            self.result_blocks = ResultPlane(blocks, capacity)
+        except OSError as exc:
+            if self.result_plane_mode == "on":
+                raise
+            import warnings
+
+            warnings.warn(
+                f"could not allocate shared-memory result blocks ({exc}); "
+                "falling back to the pickle return transport for this pool",
+                resultplane.ResultPlaneWarning,
+                stacklevel=3,
+            )
+            self._use_result_plane = False
+        return self.result_blocks
 
     def trace_range(
         self, seed: int, start: int, count: int
@@ -437,15 +599,39 @@ class PhotonPool:
         byte-identical to :meth:`run` — contiguous ascending shards on
         per-photon substreams make the concatenation canonical exactly
         as in the one-shot path.
+
+        With the result plane live, each yield's events come back as
+        block descriptors (streamed serving stays free of per-batch
+        event pickling); the blocks are recycled by the next call, after
+        the canonical merge has copied the events out.
         """
         if self._pool is None:
             self.start()
-        jobs = [
-            (seed, start + offset, share)
+        shards = [
+            (offset, share)
             for offset, share in _shard_starts(count, self.config.workers)
             if share > 0
         ]
-        return _gather_shards(self._pool.starmap(_trace_shard_pooled, jobs))
+        blocks = (
+            self._ensure_result_blocks(max(share for _, share in shards))
+            if shards
+            else None
+        )
+        handle = blocks.handle if blocks is not None else None
+        jobs = [
+            (seed, start + offset, share, handle, slot)
+            for slot, (offset, share) in enumerate(shards)
+        ]
+        results = self._pool.starmap(_trace_shard_pooled, jobs)
+        gathered = gather_shards(results, blocks)
+        self.last_result_wire_bytes = resultplane.wire_bytes(results)
+        # The gather copied every event out; drop inline payloads so a
+        # pickle-path request cannot pin O(events) arrays in the parent
+        # until the next trace (descriptors alone drive the build phase).
+        for r in results:
+            r.payload = None
+        self.last_shard_results = results
+        return gathered
 
     def worker_transports(self) -> list[str]:
         """Every worker's transport, reported once from its initializer.
@@ -467,7 +653,13 @@ class PhotonPool:
         return self._transports
 
     def close(self, terminate: bool = False) -> None:
-        """Tear down workers, then close and unlink the plane (idempotent)."""
+        """Tear down workers, then close and unlink both planes (idempotent).
+
+        The result blocks release with the scene plane — also on the
+        worker-exception path (the context manager routes here), which
+        is the crash half of the no-leak contract the lifecycle tests
+        cover for the return transport too.
+        """
         if self._pool is not None:
             if terminate:
                 self._pool.terminate()
@@ -483,9 +675,15 @@ class PhotonPool:
             self.plane.close()
             self.plane.unlink()
             self.plane = None
-        # A restart after close() re-decides the transport from scratch
+        self.last_shard_results = []
+        if self.result_blocks is not None:
+            self.result_blocks.close()
+            self.result_blocks.unlink()
+            self.result_blocks = None
+        # A restart after close() re-decides the transports from scratch
         # (an "auto" re-publish may fall back where the first one won).
         self.transport = "pickle"
+        self._use_result_plane = False
 
     def __enter__(self) -> "PhotonPool":
         return self.start()

@@ -1,0 +1,430 @@
+"""Zero-copy shared-memory result plane: the outbound event transport.
+
+The scene plane (:mod:`repro.parallel.shmplane`) made the *inbound*
+transport of the process pool zero-copy — a kilobyte handle crosses the
+boundary instead of a megabyte scene pickle.  The *outbound* path stayed
+the slow way: every worker pickled its full :class:`EventBatch` (eight
+8-byte columns per tally event) back to the parent, so return bytes
+scaled with the **photon budget**, not the worker count.  This module
+closes that asymmetry:
+
+* The parent preallocates one segment holding **per-shard result
+  blocks** (:class:`ResultPlane`), sized from the photon budget times a
+  measured events-per-photon headroom factor
+  (:data:`EVENTS_PER_PHOTON_HEADROOM`).
+* Each trace job writes its canonically sorted events straight into its
+  block (:func:`pack_shard` — the columns of
+  :data:`repro.core.vectorized.EVENT_FIELDS` via
+  :meth:`EventBatch.export_fields`) and returns a tiny
+  :class:`ShardResult` descriptor: ``(slot, count, stats)``, a few
+  hundred bytes regardless of budget.
+* The parent rebuilds **zero-copy views** over the same bytes
+  (:meth:`ResultPlane.view` / :func:`gather_shards`) and performs the
+  existing canonical merge; the ownership build phase re-reads the same
+  blocks worker-side (:func:`take_owned`), so the whole request crosses
+  the process boundary in O(workers) descriptors.
+
+Blocks are keyed by **job slot**, not worker identity: ``Pool.starmap``
+may hand two shards to one process, and slot-addressed blocks make that
+harmless.  Parent and workers never write the same bytes — each job owns
+its slot exclusively, and the parent reads only after ``starmap``
+returns.
+
+Fallback and overflow contract
+------------------------------
+Correctness never depends on the plane.  When a shard's events exceed
+its block (a pathological mirror scene outrunning the headroom factor)
+the worker ships the legacy pickle payload instead and flags
+``overflow``; the parent raises a loud :class:`ResultPlaneWarning` while
+returning the exact same bytes.  When ``/dev/shm`` cannot hold the
+blocks under ``result_plane="auto"`` the pool warns once and falls back
+to pickling; ``"on"`` raises instead.  Answers are byte-identical on
+every path — the transport knob trades bytes-over-boundary only.
+
+Lifecycle contract
+------------------
+The parent owns the segment (:class:`ResultPlane` is a
+:class:`~repro.parallel.shmplane.SegmentOwner`): blocks are recycled
+across warm requests, regrown (old segment unlinked first) when a
+bigger budget arrives, and unlinked at pool close even when a worker
+raises mid-result.  Worker-side attachments are cached one segment at a
+time (:func:`_attach_blocks`) — replacing a regrown segment closes the
+stale mapping.  Segment names carry the shared plane prefix, so
+:func:`repro.parallel.shmplane.leaked_segments` and the CI ``/dev/shm``
+scan cover result blocks too.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.simulator import RESULT_PLANE_MODES, TraceStats
+from ..core.vectorized import EVENT_FIELDS, EventBatch
+from .shmplane import (
+    SegmentOwner,
+    allocate_segment,
+    attach_segment,
+    plane_available,
+)
+
+__all__ = [
+    "EVENTS_PER_PHOTON_HEADROOM",
+    "MIN_BLOCK_EVENTS",
+    "RESULT_PLANE_MODES",
+    "ResultBlockHandle",
+    "ResultPlane",
+    "ResultPlaneWarning",
+    "ShardResult",
+    "block_capacity",
+    "detach_worker_blocks",
+    "gather_shards",
+    "pack_shard",
+    "resolve_result_plane",
+    "take_owned",
+    "wire_bytes",
+]
+
+#: Block capacity per shard photon.  Measured on the three test scenes
+#: (50k-photon runs): 1.9 events/photon on the Cornell box, 1.6 on the
+#: harpsichord room, 2.3 on the computer lab, with no single photon
+#: above 16.  8x covers ~3.5x over the worst measured mean; a scene that
+#: still overflows (deep mirror boxes) takes the loud pickle fallback
+#: and remains byte-correct.
+EVENTS_PER_PHOTON_HEADROOM = 8.0
+
+#: Floor on block capacity so tiny streaming chunks don't allocate
+#: degenerate segments (and so per-block rounding never dominates).
+MIN_BLOCK_EVENTS = 1024
+
+
+class ResultPlaneWarning(UserWarning):
+    """A result-plane degradation the run survived (overflow/fallback).
+
+    Loud by contract: answers stay byte-identical, but the request paid
+    O(events) pickle bytes the plane existed to avoid — worth surfacing
+    rather than silently eating.
+    """
+
+
+def block_capacity(photons_per_shard: int) -> int:
+    """Events a shard's block holds for a *photons_per_shard* budget."""
+    need = math.ceil(photons_per_shard * EVENTS_PER_PHOTON_HEADROOM)
+    return max(need, MIN_BLOCK_EVENTS)
+
+
+def resolve_result_plane(mode: str) -> bool:
+    """Decide whether a pool returns events through result blocks.
+
+    ``"on"`` demands it (raising when the platform cannot), ``"off"``
+    never uses it, ``"auto"`` uses it exactly when the platform has
+    shared memory.  Unlike the scene plane there is no scene-size
+    threshold: result bytes scale with the photon budget, which any
+    multi-process run has by definition.
+    """
+    if mode == "off":
+        return False
+    if mode == "on":
+        if not plane_available():
+            raise RuntimeError(
+                "result_plane='on' but multiprocessing.shared_memory is "
+                "unavailable on this platform; use 'off' or 'auto'"
+            )
+        return True
+    if mode != "auto":
+        raise ValueError(f"unknown result_plane mode {mode!r}")
+    return plane_available()
+
+
+@dataclass(frozen=True)
+class ResultBlockHandle:
+    """Everything a worker needs to write (or re-read) a result block.
+
+    Pickles in a few hundred bytes regardless of budget: the payload
+    lives in the named segment.  ``column_offsets`` places each
+    :data:`~repro.core.vectorized.EVENT_FIELDS` column *within* a block;
+    block *i* starts at ``i * block_stride``.
+
+    Attributes:
+        segment: Shared-memory segment name.
+        capacity: Events each block can hold.
+        blocks: Number of blocks (one per trace job / shard).
+        column_offsets: ``(name, dtype_str, offset_in_block)`` per column.
+        block_stride: Bytes from one block's start to the next.
+    """
+
+    segment: str
+    capacity: int
+    blocks: int
+    column_offsets: tuple[tuple[str, str, int], ...]
+    block_stride: int
+
+
+def _block_layout(capacity: int) -> tuple[tuple[tuple[str, str, int], ...], int]:
+    """Column offsets within one block plus the aligned block stride."""
+    from .shmplane import _aligned
+
+    offsets = []
+    off = 0
+    for name, dt in EVENT_FIELDS:
+        off = _aligned(off)
+        offsets.append((name, dt, off))
+        off += capacity * np.dtype(dt).itemsize
+    return tuple(offsets), _aligned(off)
+
+
+def _slot_views(shm, handle: "ResultBlockHandle") -> list[dict]:
+    """Per-slot column views over *shm* in *handle*'s layout.
+
+    The single reading/writing lens on a result segment, shared by the
+    owner (:class:`ResultPlane`) and the worker attach path so the two
+    sides can never disagree about where a column lives.
+    """
+    return [
+        {
+            name: np.ndarray(
+                handle.capacity, dtype=np.dtype(dt), buffer=shm.buf,
+                offset=slot * handle.block_stride + off,
+            )
+            for name, dt, off in handle.column_offsets
+        }
+        for slot in range(handle.blocks)
+    ]
+
+
+class ResultPlane(SegmentOwner):
+    """Parent-side owner of the per-shard result blocks.
+
+    One segment holds every block, so one unlink cleans the whole
+    return path.  The parent keeps full-capacity views per block and
+    serves length-limited zero-copy :class:`EventBatch` windows through
+    :meth:`view`; blocks are recycled verbatim across warm requests
+    (the warm-session contract extends to them — see
+    ``benchmarks/test_resultplane.py``).
+    """
+
+    def __init__(self, blocks: int, capacity: int) -> None:
+        column_offsets, stride = _block_layout(capacity)
+        shm = allocate_segment(stride * blocks, tag="result-")
+        super().__init__(shm)
+        self.handle = ResultBlockHandle(
+            segment=shm.name,
+            capacity=capacity,
+            blocks=blocks,
+            column_offsets=column_offsets,
+            block_stride=stride,
+        )
+        self._views = _slot_views(shm, self.handle)
+
+    @property
+    def capacity(self) -> int:
+        return self.handle.capacity
+
+    @property
+    def blocks(self) -> int:
+        return self.handle.blocks
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.block_stride * self.handle.blocks
+
+    def fits(self, blocks: int, capacity: int) -> bool:
+        """Whether the existing blocks can serve a request of this shape."""
+        return blocks <= self.blocks and capacity <= self.capacity
+
+    def view(self, slot: int, count: int) -> EventBatch:
+        """Zero-copy :class:`EventBatch` over block *slot*'s first *count* rows.
+
+        Valid until the plane is closed or the slot is recycled by the
+        next trace call — callers that keep events (everyone does, via
+        the canonical concat-merge) copy exactly once, at the merge.
+        """
+        cols = self._views[slot]
+        return EventBatch.from_fields(
+            {name: cols[name][:count] for name, _ in EVENT_FIELDS}
+        )
+
+    def close(self) -> None:
+        # Views into the buffer must die before SharedMemory.close() —
+        # an exported pointer makes close() raise BufferError.
+        self._views = []
+        super().close()
+
+
+@dataclass
+class ShardResult:
+    """What one trace job sends back: a descriptor, not the events.
+
+    ``slot >= 0`` means the events sit in result block *slot* (this
+    object is then a few hundred pickled bytes).  ``slot == -1`` is the
+    pickle path: *payload* carries the raw column arrays of
+    :data:`~repro.core.vectorized.EVENT_FIELDS`, either because the
+    plane is off (normal) or because the shard overflowed its block
+    (*overflow* set — the parent warns loudly).
+    """
+
+    slot: int
+    count: int
+    stats: TraceStats
+    payload: Optional[tuple] = None
+    overflow: bool = field(default=False)
+
+
+#: This worker's attachment to the (single) live result segment:
+#: ``(segment_name, SharedMemory, per-slot column views)``.  One slot —
+#: a pool worker serves exactly one pool, and the pool has at most one
+#: live result segment; attaching a regrown segment closes the stale
+#: mapping (unlike the scene plane, result segments are recycled, so a
+#: grow-only cache would pin dead segments in RAM).
+_WORKER_BLOCKS: Optional[tuple[str, object, list]] = None
+
+
+def _attach_blocks(handle: ResultBlockHandle) -> list:
+    """Worker-side per-slot column views of *handle*'s segment (cached)."""
+    global _WORKER_BLOCKS
+    if _WORKER_BLOCKS is not None and _WORKER_BLOCKS[0] == handle.segment:
+        return _WORKER_BLOCKS[2]
+    if _WORKER_BLOCKS is not None:
+        _WORKER_BLOCKS[1].close()  # type: ignore[attr-defined]
+    shm = attach_segment(handle.segment)  # the parent owns the name
+    views = _slot_views(shm, handle)
+    _WORKER_BLOCKS = (handle.segment, shm, views)
+    return views
+
+
+def detach_worker_blocks() -> None:
+    """Drop this process's cached result attachment (tests)."""
+    global _WORKER_BLOCKS
+    if _WORKER_BLOCKS is not None:
+        _WORKER_BLOCKS[1].close()  # type: ignore[attr-defined]
+        _WORKER_BLOCKS = None
+
+
+def pack_shard(
+    events: EventBatch,
+    stats: TraceStats,
+    handle: Optional[ResultBlockHandle],
+    slot: int,
+) -> ShardResult:
+    """Ship one shard's events: into its result block, or by pickle.
+
+    The single worker-side exit point of the trace phase.  With a
+    *handle* and room in the block, the columns are copied into shared
+    memory and only the descriptor returns; without a handle (plane
+    off / injected in-process pools) or on overflow, the payload rides
+    the pickle as before.
+    """
+    n = len(events)
+    overflow = False
+    if handle is not None:
+        if n <= handle.capacity:
+            block = _attach_blocks(handle)[slot]
+            fields = events.export_fields()
+            for name, _ in EVENT_FIELDS:
+                block[name][:n] = fields[name]
+            return ShardResult(slot=slot, count=n, stats=stats)
+        overflow = True
+    fields = events.export_fields()
+    return ShardResult(
+        slot=-1,
+        count=n,
+        stats=stats,
+        payload=tuple(fields[name] for name, _ in EVENT_FIELDS),
+        overflow=overflow,
+    )
+
+
+def gather_shards(
+    results: Sequence[ShardResult], plane: Optional[ResultPlane]
+) -> tuple[EventBatch, TraceStats]:
+    """Merge shard results (job order) into one canonical batch + stats.
+
+    Plane shards contribute zero-copy views; the single copy happens in
+    the concat, which also frees the blocks for recycling by the next
+    request.  Shards cover contiguous ascending photon ranges and each
+    arrives canonically sorted, so the concatenation is globally
+    canonical — exactly the invariant the retired pickle gather relied
+    on.  Overflowed shards raise a :class:`ResultPlaneWarning` here (the
+    parent process, where warnings actually reach the caller).
+    """
+    stats = TraceStats()
+    blocks = []
+    for r in results:
+        stats.merge(r.stats)
+        if r.slot >= 0:
+            if plane is None:
+                raise RuntimeError(
+                    "shard descriptor references a result block but the "
+                    "parent holds no result plane"
+                )
+            blocks.append(plane.view(r.slot, r.count))
+        else:
+            if r.overflow:
+                warnings.warn(
+                    f"result block overflow: a shard produced {r.count} "
+                    f"events, above the preallocated capacity "
+                    f"(EVENTS_PER_PHOTON_HEADROOM={EVENTS_PER_PHOTON_HEADROOM}); "
+                    "the shard fell back to pickling — answer unchanged, "
+                    "transport win lost",
+                    ResultPlaneWarning,
+                    stacklevel=2,
+                )
+            blocks.append(EventBatch(*r.payload))
+    return EventBatch.concat(blocks), stats
+
+
+def take_owned(
+    handle: ResultBlockHandle,
+    counts: Sequence[int],
+    worker_id: int,
+    workers: int,
+) -> EventBatch:
+    """Worker-side read of the build phase: this owner's event rows.
+
+    Re-reads the shard blocks the trace phase just filled (``counts``
+    live rows per slot, in job order), selects the rows whose patch this
+    worker owns (``patch % workers == worker_id``), and returns them in
+    global canonical order — per-slot selection preserves it because
+    slots cover ascending photon ranges.  This is what lets the
+    ownership build receive O(1) job arguments instead of re-pickling
+    every owned event back across the boundary.
+    """
+    views = _attach_blocks(handle)
+    parts = []
+    for slot, count in enumerate(counts):
+        if count == 0:
+            continue
+        ev = EventBatch.from_fields(
+            {name: views[slot][name][:count] for name, _ in EVENT_FIELDS}
+        )
+        rows = np.nonzero(ev.patch % workers == worker_id)[0]
+        if rows.size:
+            parts.append(ev.take(rows))
+    return EventBatch.concat(parts)
+
+
+def wire_bytes(results: Sequence[ShardResult]) -> int:
+    """Bytes these results crossed the process boundary with.
+
+    Diagnostics for the transport benchmarks: descriptors are measured
+    exactly (their pickle is tiny); payload shards are counted as the
+    descriptor plus the raw column bytes — the dominant term — rather
+    than re-pickling megabytes of arrays just to size them.  Cheap
+    enough that :meth:`PhotonPool.trace_range` records it per call.
+    """
+    import pickle
+
+    total = 0
+    for r in results:
+        if r.payload is None:
+            total += len(pickle.dumps(r))
+        else:
+            header = ShardResult(slot=r.slot, count=r.count, stats=r.stats,
+                                 overflow=r.overflow)
+            total += len(pickle.dumps(header))
+            total += sum(a.nbytes for a in r.payload)
+    return total

@@ -40,6 +40,18 @@ publisher failed to release (tests assert it stays empty).
 When ``multiprocessing.shared_memory`` is unavailable (exotic platforms,
 sandboxed /dev/shm) the pool falls back to pickling the scene — see
 :func:`repro.parallel.procpool.resolve_share_plane`.
+
+Generalized segment machinery
+-----------------------------
+The layout/ownership primitives are shared with the **outbound** half of
+the transport, the per-worker result blocks of
+:mod:`repro.parallel.resultplane`: :func:`layout_fields` places any
+name -> array mapping at aligned offsets, :func:`allocate_segment`
+creates a raw leak-scannable segment, and :class:`SegmentOwner` is the
+idempotent close/unlink lifecycle both plane directions use.  Every
+segment name this package mints starts with
+:data:`PLANE_SEGMENT_PREFIX`, so one :func:`leaked_segments` scan covers
+the scene plane and all result blocks.
 """
 
 from __future__ import annotations
@@ -64,12 +76,16 @@ __all__ = [
     "PlaneHandle",
     "PlaneRegistry",
     "ScenePlane",
+    "SegmentOwner",
+    "allocate_segment",
+    "layout_fields",
     "plane_available",
     "plane_registry",
     "publish",
     "attach",
     "detach_all",
     "leaked_segments",
+    "attach_segment",
 ]
 
 #: Every plane segment name starts with this, so leak checks (tests, CI)
@@ -86,8 +102,150 @@ def plane_available() -> bool:
     return _shm is not None
 
 
+#: Serializes the brief resource-tracker patch in :func:`attach_segment`
+#: against a concurrent create (whose registration must NOT be lost).
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def attach_segment(name: str):
+    """Map an existing segment *without* telling the resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker (until 3.13's ``track=False``) even
+    though the attacher is not the owner.  That breaks ownership both
+    ways: a pool worker forked before the parent's tracker existed
+    spawns its **own** tracker, which "cleans up" — unlinks — the
+    parent's live segment when the worker exits; and a worker sharing
+    the parent's tracker that *unregisters* instead would erase the
+    owner's legitimate registration (the tracker cache is keyed by name
+    only).  So attaches must never touch the tracker at all:
+    registration is suppressed for the duration of the map.  Every
+    attach path in this package (scene plane and result blocks) goes
+    through here; only the publishing side registers, and its ``unlink``
+    unregisters.
+
+    Residual limitation: the suppression patch is process-global, so a
+    ``SharedMemory(create=True)`` issued by *foreign* code in another
+    thread during the (microseconds-wide) patched window would also
+    skip registration.  :data:`_TRACKER_PATCH_LOCK` protects every
+    create this package performs; code outside it is on its own until
+    3.13's ``track=False`` removes the need for the patch entirely.
+    """
+    if _shm is None:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover — tracker absent off-CPython
+        return _shm.SharedMemory(name=name)
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def layout_fields(
+    fields: dict,
+) -> tuple[list[tuple[str, str, tuple[int, ...], int]], int]:
+    """Lay a name -> array mapping into one segment, back to back.
+
+    The scene plane's layout engine (:func:`publish`): arrays are
+    placed in sorted-name order at 16-byte-aligned offsets; *fields* is
+    normalised to contiguous arrays in place.  Returns the
+    ``(name, dtype_str, shape, offset)`` rows plus the total byte size.
+    The result plane lays out differently — fixed-stride per-slot
+    blocks in :data:`~repro.core.vectorized.EVENT_FIELDS` order
+    (``resultplane._block_layout``) — but shares this module's
+    alignment rule (:func:`_aligned`) and segment primitives.
+    """
+    layout: list[tuple[str, str, tuple[int, ...], int]] = []
+    offset = 0
+    for name in sorted(fields):
+        arr = np.ascontiguousarray(fields[name])
+        fields[name] = arr
+        offset = _aligned(offset)
+        layout.append((name, arr.dtype.str, tuple(arr.shape), offset))
+        offset += arr.nbytes
+    return layout, offset
+
+
+def segment_name(tag: str) -> str:
+    """A fresh leak-scannable segment name (``photon-plane-<tag>-…``).
+
+    Every segment this package creates — scene plane or result blocks —
+    goes through here, so :func:`leaked_segments` (and the CI
+    ``/dev/shm`` scan) covers all of them with one prefix.
+    """
+    return f"{PLANE_SEGMENT_PREFIX}{tag}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+def allocate_segment(nbytes: int, tag: str = ""):
+    """Create an empty named shared-memory segment of *nbytes*.
+
+    The raw allocation primitive behind the result plane's per-worker
+    blocks (the scene plane allocates through :func:`publish`, which
+    also writes the payload).  Raises ``RuntimeError`` on platforms
+    without ``shared_memory`` and ``OSError`` when ``/dev/shm`` cannot
+    hold the segment — callers wanting the pickle fallback catch those.
+    """
+    if _shm is None:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    # Under the same lock as attach_segment's register patch: the
+    # owner's create MUST reach the resource tracker, so it cannot run
+    # while another thread has register no-op'd.
+    with _TRACKER_PATCH_LOCK:
+        return _shm.SharedMemory(
+            create=True, size=max(nbytes, 1), name=segment_name(tag)
+        )
+
+
+class SegmentOwner:
+    """Owner side of one shared-memory segment: close/unlink lifecycle.
+
+    The generic half of :class:`ScenePlane`, reused by the result plane
+    (:class:`repro.parallel.resultplane.ResultPlane`): idempotent
+    :meth:`close` and :meth:`unlink`, and a context manager that
+    releases on exceptions.  Whoever creates a segment owns it and must
+    unlink it; attachers never do.
+    """
+
+    def __init__(self, shm) -> None:
+        self._shm = shm
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Unmap the owner's view (idempotent); the segment survives."""
+        if not self._closed:
+            self._shm.close()
+            self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent); late attaches now fail."""
+        if not self._unlinked:
+            self._shm.unlink()
+            self._unlinked = True
+
+    def __enter__(self) -> "SegmentOwner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
 
 
 @dataclass(frozen=True)
@@ -111,7 +269,7 @@ class PlaneHandle:
     nbytes: int
 
 
-class ScenePlane:
+class ScenePlane(SegmentOwner):
     """Owner side of a published plane: the segment plus its handle.
 
     Use as a context manager for exception-safe release::
@@ -123,33 +281,12 @@ class ScenePlane:
     """
 
     def __init__(self, shm, handle: PlaneHandle) -> None:
-        self._shm = shm
+        super().__init__(shm)
         self.handle = handle
-        self._closed = False
-        self._unlinked = False
 
     @property
     def name(self) -> str:
         return self.handle.segment
-
-    def close(self) -> None:
-        """Unmap the owner's view (idempotent); the segment survives."""
-        if not self._closed:
-            self._shm.close()
-            self._closed = True
-
-    def unlink(self) -> None:
-        """Remove the segment name (idempotent); late attaches now fail."""
-        if not self._unlinked:
-            self._shm.unlink()
-            self._unlinked = True
-
-    def __enter__(self) -> "ScenePlane":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-        self.unlink()
 
 
 def publish(arrays: SceneArrays) -> ScenePlane:
@@ -161,29 +298,17 @@ def publish(arrays: SceneArrays) -> ScenePlane:
     cannot be created (full or unwritable ``/dev/shm``) — callers that
     want the pickle fallback catch those.
     """
-    if _shm is None:
-        raise RuntimeError(
-            "multiprocessing.shared_memory is unavailable on this platform"
-        )
     fields = arrays.export_fields()
-    layout: list[tuple[str, str, tuple[int, ...], int]] = []
-    offset = 0
-    for name in sorted(fields):
-        arr = np.ascontiguousarray(fields[name])
-        fields[name] = arr
-        offset = _aligned(offset)
-        layout.append((name, arr.dtype.str, tuple(arr.shape), offset))
-        offset += arr.nbytes
-    segment = f"{PLANE_SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
-    shm = _shm.SharedMemory(create=True, size=max(offset, 1), name=segment)
+    layout, nbytes = layout_fields(fields)
+    shm = allocate_segment(nbytes)
     for name, dtype, shape, off in layout:
         view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
         view[...] = fields[name]
     handle = PlaneHandle(
-        segment=segment,
+        segment=shm.name,
         fields=tuple(layout),
         total_power=arrays.total_power,
-        nbytes=offset,
+        nbytes=nbytes,
     )
     return ScenePlane(shm, handle)
 
@@ -210,7 +335,7 @@ def attach(handle: PlaneHandle) -> SceneArrays:
     cached = _ATTACHED.get(handle.segment)
     if cached is not None:
         return cached[1]
-    shm = _shm.SharedMemory(name=handle.segment)
+    shm = attach_segment(handle.segment)
     views: dict[str, np.ndarray] = {}
     for name, dtype, shape, off in handle.fields:
         view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)

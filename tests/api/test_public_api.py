@@ -89,6 +89,8 @@ class TestRequestOptionsSplit:
         with pytest.raises(ValueError):
             SessionOptions(share_plane="maybe")
         with pytest.raises(ValueError):
+            SessionOptions(result_plane="maybe")
+        with pytest.raises(ValueError):
             SessionOptions(batch_size=0)
 
     def test_merge_enforces_cross_field_rules(self):
@@ -109,6 +111,7 @@ class TestRequestOptionsSplit:
             workers=3,
             accel="flat",
             share_plane="off",
+            result_plane="off",
         )
         request, options = split_config(config)
         assert merge_config(request, options) == config

@@ -32,6 +32,18 @@ def forest_bytes(result) -> str:
     return json.dumps(forest_to_dict(result.forest), sort_keys=True)
 
 
+def scene_segments() -> list:
+    """Live *scene-plane* segments only.
+
+    A live multi-process session also holds per-pool result blocks
+    (``photon-plane-result-…``); the registry-sharing assertions are
+    about the scene plane, so filter the result blocks out.  The
+    after-close assertions keep using :func:`leaked_segments` raw — at
+    close *nothing* of either kind may survive.
+    """
+    return [s for s in leaked_segments() if "-result-" not in s]
+
+
 class TestWarmReuse:
     def test_equal_requests_equal_bytes(self, mini_scene):
         request = SimulateRequest(n_photons=250)
@@ -127,7 +139,7 @@ class TestPlaneSharing:
                 a = one.simulate(request)
                 b = two.simulate(request)
                 assert one.program is two.program
-                assert len(leaked_segments()) == 1
+                assert len(scene_segments()) == 1
         assert forest_bytes(a) == forest_bytes(b)
         assert leaked_segments() == []
 
@@ -148,7 +160,7 @@ class TestCrashHygiene:
         with pytest.raises(RuntimeError, match="frontend blew up"):
             with RenderSession(mini_scene, options) as session:
                 session.simulate(SimulateRequest(n_photons=60))
-                assert len(leaked_segments()) == 1
+                assert len(scene_segments()) == 1
                 raise RuntimeError("frontend blew up")
         assert leaked_segments() == []
 
@@ -162,3 +174,44 @@ class TestCrashHygiene:
                     SimulateRequest(n_photons=60), batch_size=0
                 ).__next__()
         assert leaked_segments() == []
+
+
+class TestResultMemoization:
+    """SessionOptions(cache_results=True): repeats skip tracing entirely."""
+
+    def test_repeated_request_returns_identical_object(self, mini_scene):
+        options = SessionOptions(cache_results=True)
+        request = SimulateRequest(n_photons=200)
+        with RenderSession(mini_scene, options) as session:
+            first = session.simulate(request)
+            engine = session._engine_for(None)
+            traced_before = engine.patch_tests
+            # An equal-by-value request (requests are frozen/hashable
+            # precisely so they can key caches) must hit the memo: the
+            # *same* answer object, and not one more patch test paid.
+            again = session.simulate(SimulateRequest(n_photons=200))
+            assert again is first
+            assert engine.patch_tests == traced_before
+            assert session.requests_served == 2
+
+    def test_distinct_requests_miss_the_cache(self, mini_scene):
+        options = SessionOptions(cache_results=True)
+        with RenderSession(mini_scene, options) as session:
+            a = session.simulate(SimulateRequest(n_photons=200))
+            b = session.simulate(SimulateRequest(n_photons=200, seed=7))
+            assert b is not a
+
+    def test_caching_is_opt_in(self, mini_scene):
+        request = SimulateRequest(n_photons=200)
+        with RenderSession(mini_scene) as session:
+            first = session.simulate(request)
+            again = session.simulate(request)
+            assert again is not first  # same bytes, new answer object
+            assert forest_bytes(again) == forest_bytes(first)
+
+    def test_cache_dies_with_the_session(self, mini_scene):
+        options = SessionOptions(cache_results=True)
+        request = SimulateRequest(n_photons=100)
+        with RenderSession(mini_scene, options) as session:
+            session.simulate(request)
+        assert session._result_cache == {}

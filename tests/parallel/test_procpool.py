@@ -138,13 +138,16 @@ def forest_to_dict_tree(tree):
 class TestShardTracing:
     def test_shards_concatenate_to_full_range(self, cornell):
         """Sharded tracing covers each photon exactly once."""
-        whole, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 300)
-        part_a, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 120)
-        part_b, _ = _trace_shard(cornell, None, 4096, "auto", 0xAB, 120, 180)
+        whole = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 300)
+        part_a = _trace_shard(cornell, None, 4096, "auto", 0xAB, 0, 120)
+        part_b = _trace_shard(cornell, None, 4096, "auto", 0xAB, 120, 180)
+        # The injected-pool target ships inline payloads (nothing forked,
+        # so there is no result plane to write into).
+        assert whole.slot == part_a.slot == part_b.slot == -1
         merged = EventBatch.concat(
-            [EventBatch(*part_a), EventBatch(*part_b)]
+            [EventBatch(*part_a.payload), EventBatch(*part_b.payload)]
         ).sorted_canonical()
-        full = EventBatch(*whole)
+        full = EventBatch(*whole.payload)
         assert full.gidx.tolist() == merged.gidx.tolist()
         assert full.patch.tolist() == merged.patch.tolist()
         assert full.theta.tolist() == merged.theta.tolist()

@@ -49,6 +49,15 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "s", "--out", "x.json"])
         assert args.repeat == 1
 
+    def test_result_plane_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "s", "--result-plane", "off", "--out", "x.json"]
+        )
+        assert args.result_plane == "off"
+        # Default keeps the pool free to pick the return transport.
+        args = build_parser().parse_args(["simulate", "s", "--out", "x.json"])
+        assert args.result_plane == "auto"
+
 
 class TestSimulateUsageErrors:
     """Config rejections surface as argparse usage errors, not tracebacks."""
@@ -190,6 +199,46 @@ class TestSimulateViewWorkflow:
             out=io.StringIO(),
         )
         assert answer.read_bytes() == single.read_bytes()
+
+    def test_repeat_prints_aggregate_summary(self, tmp_path):
+        """--repeat N ends with one aggregate photons/sec line covering
+        the whole warm session (overall and warm-only rates)."""
+        out = io.StringIO()
+        rc = main(
+            ["simulate", "cornell-box", "--photons", "200", "--engine",
+             "vector", "--repeat", "3", "--out", str(tmp_path / "a.json")],
+            out=out,
+        )
+        assert rc == 0
+        lines = out.getvalue().splitlines()
+        aggregate = [l for l in lines if l.startswith("aggregate:")]
+        assert len(aggregate) == 1
+        assert "3 requests" in aggregate[0]
+        assert "600 photons" in aggregate[0]
+        assert "/s overall" in aggregate[0]
+        assert "/s warm" in aggregate[0]
+
+    def test_single_request_prints_no_aggregate(self, tmp_path):
+        out = io.StringIO()
+        main(
+            ["simulate", "cornell-box", "--photons", "100", "--engine",
+             "vector", "--out", str(tmp_path / "a.json")],
+            out=out,
+        )
+        assert "aggregate:" not in out.getvalue()
+
+    def test_result_plane_modes_write_identical_answers(self, tmp_path):
+        """The return-transport knob cannot move a single answer byte."""
+        on, off = tmp_path / "on.json", tmp_path / "off.json"
+        for path, mode in ((on, "on"), (off, "off")):
+            rc = main(
+                ["simulate", "cornell-box", "--photons", "200", "--engine",
+                 "vector", "--workers", "2", "--result-plane", mode,
+                 "--out", str(path)],
+                out=io.StringIO(),
+            )
+            assert rc == 0
+        assert on.read_bytes() == off.read_bytes()
 
     def test_view_default_camera_comes_from_scene(self, tmp_path):
         """`repro view` with no --eye frames the scene's registered
