@@ -15,6 +15,7 @@ from repro.cluster import profile_scene
 from repro.core import ENGINES, SimulationConfig, SplitPolicy
 from repro.geometry import Scene
 from repro.scenes import computer_lab, cornell_box, harpsichord_room
+from repro.scenes.generator import generate_scene
 from tests.scenehelpers import build_mini_scene
 
 
@@ -37,6 +38,17 @@ def harpsichord() -> Scene:
 def lab_small() -> Scene:
     """A reduced Computer Lab (4 workstations) for affordable tests."""
     return computer_lab(workstations=4)
+
+
+@pytest.fixture(scope="session")
+def office64() -> Scene:
+    """The mid-size generated corpus scene (gen:office-64, ~2.7k patches).
+
+    The procedural counterpart of the Table 5.1 set: parity, golden,
+    and transport suites parametrize over it so the generator sits
+    under the same determinism contracts as the hand-built scenes.
+    """
+    return generate_scene("office-64")
 
 
 @pytest.fixture()

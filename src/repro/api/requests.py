@@ -26,7 +26,7 @@ same rules as ever, so the split cannot drift from the one-shot path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING, Union
 
 from ..core.bintree import SplitPolicy
 from ..core.simulator import (
@@ -41,7 +41,19 @@ from ..core.simulator import (
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from ..core.fluorescence import FluorescenceSpec
 
-__all__ = ["SimulateRequest", "SessionOptions", "merge_config", "split_config"]
+__all__ = [
+    "DEFAULT_RESULT_CACHE_ENTRIES",
+    "SimulateRequest",
+    "SessionOptions",
+    "merge_config",
+    "split_config",
+]
+
+#: Memo bound applied by ``SessionOptions(cache_results=True)``: enough
+#: for a frontend's hot request set, small enough that a long-lived
+#: session cannot accumulate every answer forest it ever produced (the
+#: unbounded-growth trap the plain-dict cache had).
+DEFAULT_RESULT_CACHE_ENTRIES = 64
 
 
 @dataclass(frozen=True)
@@ -113,10 +125,13 @@ class SessionOptions:
         cache_results: Memoize :meth:`~repro.api.RenderSession.simulate`
             results keyed by the (frozen, hashable)
             :class:`SimulateRequest`: a repeated request returns the
-            identical answer object without re-tracing.  Off by default
-            — the cache holds every distinct answer forest alive for
-            the session's lifetime, a trade only a serving frontend
-            should opt into.
+            identical answer object without re-tracing.  ``False`` (the
+            default) disables the memo; ``True`` bounds it at
+            :data:`DEFAULT_RESULT_CACHE_ENTRIES` distinct requests; an
+            ``int >= 1`` sets the bound explicitly.  Eviction is LRU —
+            a cache hit refreshes the entry — and an evicted request
+            simply re-traces, which determinism guarantees reproduces
+            identical bytes, so the bound can never change an answer.
     """
 
     engine: str = "vector"
@@ -125,7 +140,7 @@ class SessionOptions:
     batch_size: int = 4096
     share_plane: str = "auto"
     result_plane: str = "auto"
-    cache_results: bool = False
+    cache_results: Union[bool, int] = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -151,6 +166,26 @@ class SessionOptions:
                 "workers > 1 requires the vector engine (the scalar loop "
                 "would silently ignore the pool); pass engine='vector'"
             )
+        if not isinstance(self.cache_results, bool):
+            if not isinstance(self.cache_results, int):
+                raise ValueError(
+                    f"cache_results must be a bool or an int entry bound, "
+                    f"got {self.cache_results!r}"
+                )
+            if self.cache_results < 1:
+                raise ValueError(
+                    f"cache_results entry bound must be >= 1, got "
+                    f"{self.cache_results} (pass False to disable caching)"
+                )
+
+    @property
+    def result_cache_entries(self) -> int:
+        """Resolved memo bound: 0 = caching off, else max distinct entries."""
+        if self.cache_results is False:
+            return 0
+        if self.cache_results is True:
+            return DEFAULT_RESULT_CACHE_ENTRIES
+        return self.cache_results
 
 
 def merge_config(

@@ -47,6 +47,7 @@ across threads.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
 import numpy as np
@@ -118,9 +119,11 @@ class RenderSession:
         self._holds_plane = False
         self._plane_handle = None
         self._closed = False
-        # SimulateRequest -> SimulationResult, active only under
-        # SessionOptions(cache_results=True); dies with the session.
-        self._result_cache: dict = {}
+        # SimulateRequest -> SimulationResult LRU, active only when
+        # options.result_cache_entries > 0; insertion order *is*
+        # recency order (hits re-insert), evictions pop the front.
+        # Dies with the session.
+        self._result_cache: "OrderedDict" = OrderedDict()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -236,16 +239,22 @@ class RenderSession:
         the session only changes *when* compilation and worker startup
         happen, never a single tally.
 
-        Under ``SessionOptions(cache_results=True)`` a repeated request
+        Under ``SessionOptions(cache_results=...)`` a repeated request
         (equal by value — requests are frozen and hashable for exactly
         this) returns the **identical** answer object without
         re-tracing; determinism makes the memoization sound, since
         re-tracing an equal request could only reproduce equal bytes.
+        The memo is a bounded LRU (``options.result_cache_entries``):
+        a hit refreshes the entry, an insert past the bound evicts the
+        least recently used one, and an evicted request re-traces to
+        the same bytes it was first served with.
         """
         self._check_open()
-        if self.options.cache_results:
+        cache_bound = self.options.result_cache_entries
+        if cache_bound:
             cached = self._result_cache.get(request)
             if cached is not None:
+                self._result_cache.move_to_end(request)
                 self.requests_served += 1
                 return cached
         config = merge_config(request, self.options)
@@ -255,8 +264,10 @@ class RenderSession:
             result = self._pool_for(request.fluorescence, config).run(config)
         else:
             result = self._engine_for(request.fluorescence).run(config)
-        if self.options.cache_results:
+        if cache_bound:
             self._result_cache[request] = result
+            while len(self._result_cache) > cache_bound:
+                self._result_cache.popitem(last=False)
         self.requests_served += 1
         return result
 

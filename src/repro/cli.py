@@ -8,6 +8,12 @@ exactly that workflow::
     python -m repro simulate cornell-box --photons 50000 --out cornell.answer.json
     python -m repro view cornell-box cornell.answer.json --out cornell.ppm
     python -m repro trace cornell-box --platform sp2 --ranks 1 2 4 8
+
+Scenes are *specs*, not just registered names: ``--scene-file my.json``
+(or ``file:my.json`` anywhere a scene name is accepted) loads the JSON
+schema / OBJ subset, and ``--gen office-64@7`` (or ``gen:office-64@7``)
+builds a seeded procedural scene; ``save-scene`` writes any spec back
+out as a schema file.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ from .core import Camera, SplitPolicy, load_answer, save_answer
 from .geometry import Vec3
 from .image import save_radiance_ppm
 from .perf import ascii_traces, format_table, speedup_table
-from .scenes import build_scene, scene_registry
+from .scenes import SceneFormatError, get_scene, scene_registry
+from .scenes.loader import save_scene
 
 __all__ = ["main", "build_parser"]
 
@@ -55,7 +62,27 @@ def build_parser() -> argparse.ArgumentParser:
             "multi-core speedup."
         ),
     )
-    p_sim.add_argument("scene", help="registered scene name")
+    p_sim.add_argument(
+        "scene",
+        nargs="?",
+        help=(
+            "scene spec: a registered name, 'file:<path>', or "
+            "'gen:<kind>-<units>[@seed]' (or use --scene-file / --gen)"
+        ),
+    )
+    p_sim.add_argument(
+        "--scene-file",
+        type=Path,
+        help="load the scene from a photon-scene JSON (or OBJ subset) file",
+    )
+    p_sim.add_argument(
+        "--gen",
+        metavar="SPEC",
+        help=(
+            "generate a seeded procedural scene, e.g. 'office-64' or "
+            "'den-48@7' (deterministic: same spec, same scene, same answer)"
+        ),
+    )
     p_sim.add_argument("--photons", type=int, default=20_000)
     p_sim.add_argument("--seed", type=lambda v: int(v, 0), default=0x1234ABCD330E)
     p_sim.add_argument("--sigma", type=float, default=3.0, help="bin split threshold")
@@ -172,11 +199,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    p_save = sub.add_parser(
+        "save-scene",
+        help="resolve a scene spec and write it as a photon-scene JSON file",
+        description=(
+            "Resolves any scene spec — a registered name, file:<path>, or "
+            "gen:<kind>-<units>[@seed] — and writes it back out in the "
+            "versioned JSON schema.  save -> load -> save is byte-stable, "
+            "and generated scenes record their generator metadata, so the "
+            "written file is a self-contained, reproducible scene "
+            "description."
+        ),
+    )
+    p_save.add_argument("scene", help="scene spec to resolve")
+    p_save.add_argument("--out", type=Path, required=True, help="output JSON path")
+
     # Usage errors discovered after parsing (config validation) should
     # show the offending subcommand's synopsis, not the root command
     # list — keep a handle on the subparser for the error path.
     parser.simulate_parser = p_sim
     return parser
+
+
+def _resolve_scene(spec: str, parser: argparse.ArgumentParser):
+    """Scene spec -> Scene, reporting failures the argparse way.
+
+    A missing file, a schema violation, or a bad generator spec is a
+    usage error (exit 2 with the offending path/field named), not a
+    traceback.  Unknown registered names keep raising ``KeyError`` —
+    the long-standing programmatic contract of ``build_scene``.
+    """
+    try:
+        return get_scene(spec)
+    except (SceneFormatError, ValueError) as exc:
+        parser.error(str(exc))
+
+
+def _simulate_scene_spec(args, parser: argparse.ArgumentParser) -> str:
+    """The one scene spec of a simulate invocation (positional or flag)."""
+    specs = [
+        spec
+        for spec in (
+            args.scene,
+            f"file:{args.scene_file}" if args.scene_file else None,
+            f"gen:{args.gen}" if args.gen else None,
+        )
+        if spec
+    ]
+    if len(specs) != 1:
+        parser.simulate_parser.error(
+            "pass exactly one scene: a positional spec, --scene-file, or --gen"
+        )
+    return specs[0]
 
 
 def _cmd_scenes(out) -> int:
@@ -191,7 +265,7 @@ def _cmd_scenes(out) -> int:
 
 
 def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
-    scene = build_scene(args.scene)
+    scene = _resolve_scene(_simulate_scene_spec(args, parser), parser)
     try:
         request = SimulateRequest(
             n_photons=args.photons,
@@ -268,8 +342,8 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
-def _cmd_view(args, out) -> int:
-    scene = build_scene(args.scene)
+def _cmd_view(args, out, parser: argparse.ArgumentParser) -> int:
+    scene = _resolve_scene(args.scene, parser)
     forest = load_answer(args.answer)
     # Viewing defaults travel with the scene (Scene.default_camera), so
     # newly registered scenes frame themselves instead of inheriting a
@@ -299,9 +373,20 @@ def _cmd_view(args, out) -> int:
     return 0
 
 
-def _cmd_trace(args, out) -> int:
+def _cmd_save_scene(args, out, parser: argparse.ArgumentParser) -> int:
+    scene = _resolve_scene(args.scene, parser)
+    save_scene(scene, args.out)
+    print(
+        f"{scene.name}: {scene.defining_polygon_count:,} patches, "
+        f"{len(scene.luminaires)} luminaires -> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_trace(args, out, parser: argparse.ArgumentParser) -> int:
     machine = platform_by_name(args.platform)
-    scene = build_scene(args.scene)
+    scene = _resolve_scene(args.scene, parser)
     with RenderSession(
         scene, SessionOptions(engine=args.engine, accel=args.accel)
     ) as session:
@@ -332,7 +417,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args, out, parser)
     if args.command == "view":
-        return _cmd_view(args, out)
+        return _cmd_view(args, out, parser)
     if args.command == "trace":
-        return _cmd_trace(args, out)
+        return _cmd_trace(args, out, parser)
+    if args.command == "save-scene":
+        return _cmd_save_scene(args, out, parser)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -562,7 +562,13 @@ class PhotonPool:
         """
         if not self._use_result_plane:
             return None
-        capacity = block_capacity(max_share)
+        # Scenes that know their events-per-photon (loader metadata or
+        # generator estimate) get blocks sized for *this* scene; scenes
+        # without a hint keep the blanket worst-case factor.  getattr:
+        # scenes unpickled from pre-hint answer pipelines lack the attr.
+        capacity = block_capacity(
+            max_share, getattr(self.scene, "events_per_photon_hint", None)
+        )
         blocks = self.config.workers
         if self.result_blocks is not None:
             if self.result_blocks.fits(blocks, capacity):

@@ -1,18 +1,38 @@
-"""The three test scenes of Table 5.1 plus a registry for the harnesses.
+"""The three test scenes of Table 5.1 plus the open ingestion surface.
 
 Every registered scene carries its own viewing defaults
 (``scene.default_camera`` — the ``*_DEFAULT_CAMERA`` dicts below), so
 ``repro view`` and :meth:`repro.api.RenderSession.render` frame a scene
 correctly without a per-scene lookup table anywhere else; scenes built
 without a camera derive a framing view from their bounds.
+
+Beyond the three built-ins, :func:`get_scene` resolves *scene specs*:
+
+* ``"cornell-box"`` — a registered name (Table 5.1);
+* ``"file:path/to/scene.json"`` — the versioned JSON schema (or an
+  ``.obj`` subset file), loaded by :mod:`repro.scenes.loader`;
+* ``"gen:office-64@7"`` — the seeded procedural generator
+  (:mod:`repro.scenes.generator`).
+
+Everything downstream — the CLI, :class:`repro.api.RenderSession`, the
+golden harness — goes through this resolver, so a scene from a file or
+a generator spec is a first-class citizen everywhere a built-in is.
 """
 
 from typing import Callable
 
 from ..geometry import Scene
 from .cornell import CORNELL_DEFAULT_CAMERA, cornell_box
+from .generator import generate_scene
 from .harpsichord import HARPSICHORD_DEFAULT_CAMERA, harpsichord_room
 from .lab import LAB_DEFAULT_CAMERA, computer_lab
+from .loader import (
+    SceneFormatError,
+    load_obj,
+    load_scene,
+    load_scene_file,
+    save_scene,
+)
 
 __all__ = [
     "cornell_box",
@@ -20,6 +40,12 @@ __all__ = [
     "computer_lab",
     "scene_registry",
     "build_scene",
+    "get_scene",
+    "generate_scene",
+    "load_scene",
+    "load_obj",
+    "save_scene",
+    "SceneFormatError",
     "CORNELL_DEFAULT_CAMERA",
     "HARPSICHORD_DEFAULT_CAMERA",
     "LAB_DEFAULT_CAMERA",
@@ -27,7 +53,7 @@ __all__ = [
 
 
 def scene_registry() -> dict[str, Callable[[], Scene]]:
-    """Name -> builder mapping in Table 5.1 order."""
+    """Name -> builder mapping in Table 5.1 order (built-ins only)."""
     return {
         "cornell-box": cornell_box,
         "harpsichord-room": harpsichord_room,
@@ -35,16 +61,33 @@ def scene_registry() -> dict[str, Callable[[], Scene]]:
     }
 
 
+def get_scene(spec: str) -> Scene:
+    """Resolve a scene spec: registered name, ``file:...``, or ``gen:...``.
+
+    Raises:
+        KeyError: for unknown registered names, listing the valid ones
+            and the spec forms.
+        SceneFormatError: for ``file:`` inputs that fail validation.
+        ValueError: for malformed ``gen:`` specs.
+    """
+    if spec.startswith("file:"):
+        return load_scene_file(spec[len("file:"):])
+    if spec.startswith("gen:"):
+        return generate_scene(spec[len("gen:"):])
+    registry = scene_registry()
+    try:
+        return registry[spec]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scene {spec!r}; valid names: {sorted(registry)}, or "
+            "use 'file:<path>' / 'gen:<kind>-<units>[@seed]'"
+        ) from None
+
+
 def build_scene(name: str) -> Scene:
-    """Build a registered scene by name.
+    """Build a scene by registered name or spec (alias of :func:`get_scene`).
 
     Raises:
         KeyError: for unknown names, listing the valid ones.
     """
-    registry = scene_registry()
-    try:
-        return registry[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown scene {name!r}; valid names: {sorted(registry)}"
-        ) from None
+    return get_scene(name)

@@ -215,3 +215,60 @@ class TestResultMemoization:
         with RenderSession(mini_scene, options) as session:
             session.simulate(request)
         assert session._result_cache == {}
+
+
+class TestResultCacheBound:
+    """The memo is a bounded LRU, not the unbounded dict it used to be."""
+
+    def test_true_resolves_to_default_bound(self):
+        from repro.api.requests import DEFAULT_RESULT_CACHE_ENTRIES
+
+        assert SessionOptions(cache_results=True).result_cache_entries == (
+            DEFAULT_RESULT_CACHE_ENTRIES
+        )
+        assert DEFAULT_RESULT_CACHE_ENTRIES == 64
+        assert SessionOptions().result_cache_entries == 0
+        assert SessionOptions(cache_results=5).result_cache_entries == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "many"])
+    def test_invalid_bounds_rejected(self, bad):
+        with pytest.raises(ValueError, match="cache_results"):
+            SessionOptions(cache_results=bad)
+
+    def test_insertion_past_bound_evicts_oldest(self, mini_scene):
+        options = SessionOptions(cache_results=2)
+        a = SimulateRequest(n_photons=100)
+        b = SimulateRequest(n_photons=100, seed=2)
+        c = SimulateRequest(n_photons=100, seed=3)
+        with RenderSession(mini_scene, options) as session:
+            session.simulate(a)
+            session.simulate(b)
+            session.simulate(c)  # bound is 2: a falls out
+            assert list(session._result_cache) == [b, c]
+
+    def test_hit_refreshes_recency(self, mini_scene):
+        """LRU, not FIFO: a hit moves the entry to the young end."""
+        options = SessionOptions(cache_results=2)
+        a = SimulateRequest(n_photons=100)
+        b = SimulateRequest(n_photons=100, seed=2)
+        c = SimulateRequest(n_photons=100, seed=3)
+        with RenderSession(mini_scene, options) as session:
+            first_a = session.simulate(a)
+            session.simulate(b)
+            assert session.simulate(a) is first_a  # refresh a
+            session.simulate(c)  # now b is the LRU entry, not a
+            assert list(session._result_cache) == [a, c]
+            assert session.simulate(a) is first_a  # still cached
+
+    def test_evicted_request_retraces_to_identical_bytes(self, mini_scene):
+        options = SessionOptions(cache_results=1)
+        evicted = SimulateRequest(n_photons=150)
+        other = SimulateRequest(n_photons=150, seed=9)
+        with RenderSession(mini_scene, options) as session:
+            first = session.simulate(evicted)
+            session.simulate(other)  # bound 1: `evicted` falls out
+            again = session.simulate(evicted)
+            # A fresh trace (new object), but determinism means the
+            # bound can never change an answer: identical bytes.
+            assert again is not first
+            assert forest_bytes(again) == forest_bytes(first)

@@ -25,6 +25,10 @@ SCENE_FIXTURES = {
     "cornell-box": "cornell",
     "computer-lab": None,  # full scene, via the `scenes` session fixture
     "harpsichord-room": "harpsichord",
+    # The generated corpus representative: its committed golden pins the
+    # procedural generator's layout (seed, jitter draw order) together
+    # with the engines — regenerate after *intentional* generator bumps.
+    "gen-office-64": "office64",
 }
 
 
@@ -84,6 +88,26 @@ class TestSubstreamGoldens:
         out = tmp_path / "answer.json"
         save_answer(result.forest, out)
         assert out.read_bytes() == golden_bytes("cornell-box.substream.answer.json")
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_procpool_generated_scene(self, request, tmp_path, workers):
+        """Every worker count shards the generated corpus scene onto the
+        identical committed bytes (the gen: bit-reproducibility claim,
+        transport edition)."""
+        from tests.parallel.test_procpool import _InlinePool
+
+        scene = scene_for(request, "gen-office-64")
+        config = replace(
+            golden_config("vector", "substream"),
+            workers=workers,
+            batch_size=96,
+        )
+        result = run_procpool(scene, config, pool=_InlinePool())
+        out = tmp_path / "answer.json"
+        save_answer(result.forest, out)
+        assert out.read_bytes() == golden_bytes(
+            "gen-office-64.substream.answer.json"
+        )
 
 
 class TestLegacyStreamGolden:

@@ -48,11 +48,12 @@ def assert_parity(scene, **kwargs) -> None:
     assert vector_forest == scalar_forest
 
 
-SCENE_FIXTURES = ("cornell", "lab_small", "harpsichord")
+SCENE_FIXTURES = ("cornell", "lab_small", "harpsichord", "office64")
 
 
 class TestSceneParity:
-    """Tally-for-tally parity on all three dissertation scenes."""
+    """Tally-for-tally parity on the dissertation scenes plus the
+    generated corpus representative (gen:office-64)."""
 
     @pytest.mark.parametrize("scene_fixture", SCENE_FIXTURES)
     @pytest.mark.parametrize("seed", [0x1234ABCD330E, 0xC0FFEE])

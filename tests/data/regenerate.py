@@ -26,6 +26,16 @@ DATA_DIR = Path(__file__).parent
 GOLDEN_PHOTONS = 240
 GOLDEN_SEED = 0x1234ABCD330E
 SCENES = ("cornell-box", "computer-lab", "harpsichord-room")
+#: Generated-corpus goldens: each spec pins the procedural generator's
+#: layout *and* the engines at once (a generator change shows up as a
+#: golden diff, exactly like a physics change).  Filenames replace the
+#: spec's ':' with '-': gen:office-64 -> gen-office-64.substream.answer.json.
+GEN_SCENES = ("gen:office-64",)
+
+
+def golden_name(spec: str) -> str:
+    """Committed answerfile name for a scene name or ``gen:`` spec."""
+    return f"{spec.replace(':', '-')}.substream.answer.json"
 
 
 def golden_config(engine: str, rng_mode: str) -> SimulationConfig:
@@ -39,10 +49,10 @@ def golden_config(engine: str, rng_mode: str) -> SimulationConfig:
 
 
 def main() -> None:
-    for name in SCENES:
+    for name in SCENES + GEN_SCENES:
         scene = build_scene(name)
         result = PhotonSimulator(scene, golden_config("scalar", "substream")).run()
-        out = DATA_DIR / f"{name}.substream.answer.json"
+        out = DATA_DIR / golden_name(name)
         save_answer(result.forest, out)
         print(f"wrote {out} ({out.stat().st_size} bytes)")
     scene = build_scene("cornell-box")

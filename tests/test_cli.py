@@ -101,6 +101,108 @@ class TestScenesCommand:
             assert name in text
 
 
+class TestSceneSpecs:
+    """--scene-file / --gen / save-scene: the ingestion surface as flags."""
+
+    def test_scene_file_and_gen_flags_parse(self):
+        args = build_parser().parse_args(
+            ["simulate", "--scene-file", "s.json", "--out", "x.json"]
+        )
+        assert str(args.scene_file) == "s.json"
+        assert args.scene is None
+        args = build_parser().parse_args(
+            ["simulate", "--gen", "office-8@3", "--out", "x.json"]
+        )
+        assert args.gen == "office-8@3"
+
+    def test_no_scene_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--photons", "10", "--out", "x.json"])
+        assert excinfo.value.code == 2
+        assert "exactly one scene" in capsys.readouterr().err
+
+    def test_two_scenes_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "cornell-box", "--gen", "office-8",
+                 "--photons", "10", "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        assert "exactly one scene" in capsys.readouterr().err
+
+    def test_bad_gen_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "--gen", "atrium-64", "--photons", "10",
+                 "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        assert "<kind>-<units>" in capsys.readouterr().err
+
+    def test_schema_violation_exits_2_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"format": "photon-scene", "version": 99, "name": "x", '
+            '"materials": {"m": {}}, "patches": []}'
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "--scene-file", str(bad), "--photons", "10",
+                 "--out", "x.json"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "version" in err and str(bad) in err
+
+    def test_save_scene_round_trip_bytes(self, tmp_path):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        out = io.StringIO()
+        assert main(["save-scene", "gen:office-5@3", "--out", str(first)], out=out) == 0
+        assert "patches" in out.getvalue()
+        rc = main(
+            ["save-scene", f"file:{first}", "--out", str(second)],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_gen_scene_simulates_and_views(self, tmp_path):
+        answer = tmp_path / "g.json"
+        ppm = tmp_path / "g.ppm"
+        rc = main(
+            ["simulate", "--gen", "office-5@3", "--photons", "200",
+             "--engine", "vector", "--out", str(answer)],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        rc = main(
+            ["view", "gen:office-5@3", str(answer), "--out", str(ppm),
+             "--width", "32", "--height", "24"],
+            out=io.StringIO(),
+        )
+        assert rc == 0
+        assert read_ppm(ppm).shape == (24, 32, 3)
+
+    def test_file_flag_matches_gen_bytes(self, tmp_path):
+        """One scene, two routes (--gen and --scene-file of its saved
+        form): identical answer bytes."""
+        scene_file = tmp_path / "s.json"
+        main(["save-scene", "gen:den-6@5", "--out", str(scene_file)],
+             out=io.StringIO())
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        common = ["--photons", "200", "--engine", "vector", "--seed", "0xBEEF"]
+        assert main(
+            ["simulate", "--gen", "den-6@5", *common, "--out", str(a)],
+            out=io.StringIO(),
+        ) == 0
+        assert main(
+            ["simulate", "--scene-file", str(scene_file), *common, "--out", str(b)],
+            out=io.StringIO(),
+        ) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestSimulateViewWorkflow:
     def test_full_workflow(self, tmp_path):
         answer = tmp_path / "a.json"
