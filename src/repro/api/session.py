@@ -40,13 +40,19 @@ to the same committed bytes).
 
 Sessions are context managers; always ``with`` them (or call
 :meth:`close` in a ``finally``) so pools shut down and plane refcounts
-release even when a request raises.  A session serves one request at a
-time — share the :class:`~repro.api.SceneProgram`, not the session,
-across threads.
+release even when a request raises.  A session serves **one request at
+a time**, and that is *enforced*, not merely documented: starting a
+:meth:`simulate` or :meth:`simulate_stream` while another is in flight
+raises ``RuntimeError`` immediately (the serving tier's session pools
+depend on concurrent misuse being loud rather than silently corrupting
+a warm engine).  Share the :class:`~repro.api.SceneProgram`, not the
+session, across threads — or check sessions out of a
+:class:`repro.service.SessionPool`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
@@ -68,6 +74,62 @@ __all__ = ["RenderSession", "open_session"]
 
 #: Sentinel distinguishing "no pool yet" from "pool for fluorescence=None".
 _NO_POOL = object()
+
+
+class _GuardedStream:
+    """Iterator wrapper releasing a session's reentrancy guard once.
+
+    The guard is taken when :meth:`RenderSession.simulate_stream`
+    *returns* (validation happens at the call), so it must be released
+    however the stream ends: exhaustion, a mid-stream error, an
+    explicit ``close()`` (the client-disconnect path — closing also
+    closes the inner generator, running its cleanup), or plain
+    abandonment (``__del__``).  A generator alone cannot promise that —
+    a never-started generator's ``finally`` never runs — hence this
+    small explicit iterator.
+    """
+
+    def __init__(self, session: "RenderSession", inner) -> None:
+        self._session = session
+        self._inner = inner
+        self._released = False
+
+    def __iter__(self) -> "_GuardedStream":
+        return self
+
+    def __next__(self):
+        try:
+            return next(self._inner)
+        except BaseException:
+            self._release()
+            raise
+
+    def close(self) -> None:
+        """Abandon the stream: close the inner generator, free the session.
+
+        Safe mid-stream (the cancellation contract): the session's
+        guard clears and the session is immediately reusable — by the
+        caller or by the pool it goes back to — with no leaked
+        shared-memory segments (the session still owns its planes; they
+        release at session close as ever).
+        """
+        try:
+            close = getattr(self._inner, "close", None)
+            if close is not None:
+                close()
+        finally:
+            self._release()
+
+    def _release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._session._end_request()
+
+    def __del__(self):  # pragma: no cover — GC timing is interpreter's
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class RenderSession:
@@ -119,6 +181,11 @@ class RenderSession:
         self._holds_plane = False
         self._plane_handle = None
         self._closed = False
+        # Reentrancy guard: a session serves one request at a time; the
+        # check-and-set is atomic so concurrent misuse from another
+        # thread raises instead of corrupting warm engine state.
+        self._guard = threading.Lock()
+        self._active_request: Optional[str] = None
         # SimulateRequest -> SimulationResult LRU, active only when
         # options.result_cache_entries > 0; insertion order *is*
         # recency order (hits re-insert), evictions pop the front.
@@ -165,6 +232,22 @@ class RenderSession:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("this RenderSession is closed; open a new one")
+
+    def _begin_request(self, kind: str) -> None:
+        """Take the one-request-at-a-time guard or raise loudly."""
+        with self._guard:
+            if self._active_request is not None:
+                raise RuntimeError(
+                    f"this RenderSession is already serving "
+                    f"{self._active_request}; a session serves one request "
+                    "at a time — open another session (or check one out of "
+                    "a repro.service.SessionPool) for concurrent requests"
+                )
+            self._active_request = kind
+
+    def _end_request(self) -> None:
+        with self._guard:
+            self._active_request = None
 
     # -- resource provisioning (compile/publish/spawn happen here, once) ---
 
@@ -250,26 +333,30 @@ class RenderSession:
         the same bytes it was first served with.
         """
         self._check_open()
-        cache_bound = self.options.result_cache_entries
-        if cache_bound:
-            cached = self._result_cache.get(request)
-            if cached is not None:
-                self._result_cache.move_to_end(request)
-                self.requests_served += 1
-                return cached
-        config = merge_config(request, self.options)
-        if config.engine == "scalar":
-            result = self._simulate_scalar(config)
-        elif config.workers > 1:
-            result = self._pool_for(request.fluorescence, config).run(config)
-        else:
-            result = self._engine_for(request.fluorescence).run(config)
-        if cache_bound:
-            self._result_cache[request] = result
-            while len(self._result_cache) > cache_bound:
-                self._result_cache.popitem(last=False)
-        self.requests_served += 1
-        return result
+        self._begin_request("simulate()")
+        try:
+            cache_bound = self.options.result_cache_entries
+            if cache_bound:
+                cached = self._result_cache.get(request)
+                if cached is not None:
+                    self._result_cache.move_to_end(request)
+                    self.requests_served += 1
+                    return cached
+            config = merge_config(request, self.options)
+            if config.engine == "scalar":
+                result = self._simulate_scalar(config)
+            elif config.workers > 1:
+                result = self._pool_for(request.fluorescence, config).run(config)
+            else:
+                result = self._engine_for(request.fluorescence).run(config)
+            if cache_bound:
+                self._result_cache[request] = result
+                while len(self._result_cache) > cache_bound:
+                    self._result_cache.popitem(last=False)
+            self.requests_served += 1
+            return result
+        finally:
+            self._end_request()
 
     def simulate_stream(
         self, request: SimulateRequest, batch_size: Optional[int] = None
@@ -294,16 +381,24 @@ class RenderSession:
         if chunk < 1:
             raise ValueError("batch_size must be positive")
         config = merge_config(request, self.options)
-        self.requests_served += 1
-        if config.n_photons == 0:
-            # Keep the final-yield-equals-simulate contract on an empty
-            # budget: one empty cumulative result.
-            return iter([SimulationResult(
-                BinForest(config.policy), TraceStats(), config, self.scene.name
-            )])
-        if config.engine == "scalar":
-            return self._stream_scalar(config, chunk)
-        return self._stream_vector(request, config, chunk)
+        self._begin_request("simulate_stream()")
+        try:
+            self.requests_served += 1
+            if config.n_photons == 0:
+                # Keep the final-yield-equals-simulate contract on an
+                # empty budget: one empty cumulative result.
+                inner: Iterator[SimulationResult] = iter([SimulationResult(
+                    BinForest(config.policy), TraceStats(), config,
+                    self.scene.name,
+                )])
+            elif config.engine == "scalar":
+                inner = self._stream_scalar(config, chunk)
+            else:
+                inner = self._stream_vector(request, config, chunk)
+        except BaseException:
+            self._end_request()
+            raise
+        return _GuardedStream(self, inner)
 
     def render(
         self,

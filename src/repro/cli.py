@@ -8,6 +8,7 @@ exactly that workflow::
     python -m repro simulate cornell-box --photons 50000 --out cornell.answer.json
     python -m repro view cornell-box cornell.answer.json --out cornell.ppm
     python -m repro trace cornell-box --platform sp2 --ranks 1 2 4 8
+    python -m repro serve --scene cornell-box --scene gen:office-8@0xBEEF
 
 Scenes are *specs*, not just registered names: ``--scene-file my.json``
 (or ``file:my.json`` anywhere a scene name is accepted) loads the JSON
@@ -19,6 +20,7 @@ out as a schema file.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from pathlib import Path
@@ -214,10 +216,101 @@ def build_parser() -> argparse.ArgumentParser:
     p_save.add_argument("scene", help="scene spec to resolve")
     p_save.add_argument("--out", type=Path, required=True, help="output JSON path")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP render service",
+        description=(
+            "Hosts every --scene spec behind a stdlib-asyncio HTTP front "
+            "end: POST /scenes/<spec>/simulate returns the canonical "
+            "answer JSON byte-identical to the `simulate` answer file, "
+            "?stream=1 streams chunked NDJSON progress whose final line "
+            "is that same answer, GET /healthz and /stats report "
+            "liveness and residency/admission counters.  Programs are "
+            "LRU-evicted under --max-programs/--max-bytes; each scene "
+            "serves from a bounded pool of warm sessions with a bounded "
+            "wait queue (429 when full) and per-request deadlines (504).  "
+            "SIGTERM/SIGINT shut down gracefully, unlinking every "
+            "shared-memory segment."
+        ),
+    )
+    p_serve.add_argument(
+        "--scene",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "a scene spec to serve (repeatable): a registered name, "
+            "'file:<path>', or 'gen:<kind>-<units>[@seed]'; requests for "
+            "specs not listed here are refused with 404"
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral port (printed at startup)",
+    )
+    p_serve.add_argument(
+        "--max-programs",
+        type=int,
+        default=4,
+        help="resident compiled-program budget (LRU eviction above it)",
+    )
+    p_serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="optional resident compiled-array byte budget",
+    )
+    p_serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=2,
+        help="warm sessions per resident scene",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="per-scene admission queue bound; the next request gets 429",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (body may override)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="vector",
+        help="engine pooled sessions trace with (default: vector)",
+    )
+    p_serve.add_argument(
+        "--accel",
+        choices=("auto", "flat", "octree", "linear"),
+        default="auto",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count per session's vector engine",
+    )
+    p_serve.add_argument("--batch-size", type=int, default=4096)
+    p_serve.add_argument(
+        "--share-plane", choices=("auto", "on", "off"), default="auto"
+    )
+    p_serve.add_argument(
+        "--result-plane", choices=("auto", "on", "off"), default="auto"
+    )
+
     # Usage errors discovered after parsing (config validation) should
     # show the offending subcommand's synopsis, not the root command
     # list — keep a handle on the subparser for the error path.
     parser.simulate_parser = p_sim
+    parser.serve_parser = p_serve
     return parser
 
 
@@ -407,6 +500,87 @@ def _cmd_trace(args, out, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+async def _serve_main(config, out) -> None:
+    """Start the service, print readiness, park until SIGTERM/SIGINT."""
+    import signal
+
+    from .service import RenderService
+
+    service = RenderService(config)
+    await service.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except NotImplementedError:  # pragma: no cover — non-Unix loop
+            pass
+    print(
+        f"serving {len(config.scenes)} scene(s): "
+        + ", ".join(config.scenes),
+        file=out,
+        flush=True,
+    )
+    # The readiness line: scripts (and the CI smoke job) wait for it,
+    # then parse the bound port out of it when --port 0 was used.
+    print(
+        f"listening on http://{service.host}:{service.port}",
+        file=out,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        print("shutting down: draining sessions ...", file=out, flush=True)
+        await service.close()
+        print("bye", file=out, flush=True)
+
+
+def _cmd_serve(args, out, parser: argparse.ArgumentParser) -> int:
+    from .service import ServiceConfig
+
+    if not args.scene:
+        parser.serve_parser.error(
+            "pass at least one --scene spec (repeatable)"
+        )
+    try:
+        options = SessionOptions(
+            engine=args.engine,
+            accel=args.accel,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            share_plane=args.share_plane,
+            result_plane=args.result_plane,
+        )
+        config = ServiceConfig(
+            scenes=tuple(args.scene),
+            host=args.host,
+            port=args.port,
+            max_programs=args.max_programs,
+            max_bytes=args.max_bytes,
+            sessions_per_scene=args.pool_size,
+            queue_limit=args.queue_limit,
+            default_deadline=args.deadline,
+            options=options,
+        )
+    except ValueError as exc:
+        parser.serve_parser.error(str(exc))
+    try:
+        asyncio.run(_serve_main(config, out))
+    except ValueError as exc:
+        # Bad scene specs are discovered by RenderService.start() (the
+        # generators / registry are the authority); report them as the
+        # usage errors they are.
+        parser.serve_parser.error(str(exc))
+    except KeyboardInterrupt:  # pragma: no cover — belt for odd loops
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -422,4 +596,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_trace(args, out, parser)
     if args.command == "save-scene":
         return _cmd_save_scene(args, out, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, out, parser)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,98 @@
+"""Typed service failures that map one-to-one onto HTTP responses.
+
+The serving tier promises *loud* failure: a request the service cannot
+serve is answered with a structured JSON error and a meaningful status
+code, never dropped on the floor and never a bare connection reset.
+Every error the admission path can raise is a :class:`ServiceError`
+subclass carrying its HTTP status, a stable machine-readable ``code``,
+and (for backpressure) an optional ``Retry-After`` hint, so the HTTP
+layer can serialize any of them without a case table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ServiceError",
+    "BadRequest",
+    "PayloadTooLarge",
+    "SceneNotServed",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+]
+
+
+class ServiceError(Exception):
+    """Base class: an HTTP-mappable serving failure.
+
+    Attributes:
+        status: The HTTP status code the error serializes to.
+        code: Stable machine-readable error identifier (clients switch
+            on this, not on the human-readable message).
+        retry_after: Optional backpressure hint in seconds; emitted as a
+            ``Retry-After`` header when set.
+    """
+
+    status = 500
+    code = "internal-error"
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def to_payload(self) -> dict:
+        """The JSON body every error response carries."""
+        payload = {"error": {"code": self.code, "message": str(self)}}
+        if self.retry_after is not None:
+            payload["error"]["retry_after"] = self.retry_after
+        return payload
+
+
+class BadRequest(ServiceError):
+    """Malformed request body or parameters (HTTP 400)."""
+
+    status = 400
+    code = "bad-request"
+
+
+class PayloadTooLarge(ServiceError):
+    """Request body over the configured byte cap (HTTP 413)."""
+
+    status = 413
+    code = "payload-too-large"
+
+
+class SceneNotServed(ServiceError):
+    """The scene spec is not in this service's serving set (HTTP 404)."""
+
+    status = 404
+    code = "scene-not-served"
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission rejected: the scene's wait queue is full (HTTP 429).
+
+    This is the explicit 429-style rejection of the admission contract:
+    when a scene's session pool is exhausted *and* its bounded wait
+    queue is at capacity, the request is refused immediately — queueing
+    further would only grow tail latency without bound.
+    """
+
+    status = 429
+    code = "overloaded"
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request deadline elapsed before an answer (HTTP 504).
+
+    One-shot requests: the deadline covers queue wait plus tracing; a
+    trace that outlives it keeps running on its executor thread (Python
+    cannot safely interrupt it) but the client gets the 504 at the
+    deadline and the session returns to the pool when the trace ends.
+    Streaming requests: the deadline is checked between chunks; an
+    exceeded stream ends with a final in-band error line.
+    """
+
+    status = 504
+    code = "deadline-exceeded"

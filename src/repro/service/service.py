@@ -1,0 +1,698 @@
+"""The asyncio multi-tenant render service.
+
+This is the traffic-facing composition of the serving tier: a
+:class:`RenderService` hosts many compiled scene programs in one
+process (:class:`~repro.service.registry.ProgramRegistry`), a bounded
+pool of warm sessions per scene
+(:class:`~repro.service.pool.SessionPool`), and a stdlib asyncio HTTP
+front end (:mod:`repro.service.http`) — the Iray shape: a long-lived
+light-transport *server* streaming progressively refining answers to
+interactive clients.
+
+Endpoints:
+
+* ``POST /scenes/{spec}/simulate`` — one-shot.  The response body is
+  the canonical answer JSON, **byte-identical** to the answer file
+  ``repro simulate`` writes for the same request (the determinism
+  contract survives the service hop end to end).
+* ``POST /scenes/{spec}/simulate?stream=1`` — progressive.  A chunked
+  NDJSON stream of per-batch progress lines over the session's
+  cumulative :meth:`~repro.api.RenderSession.simulate_stream`, whose
+  **final line** is the same canonical answer document.
+* ``GET /healthz`` — liveness.
+* ``GET /stats`` — resident programs, pool occupancy and queue depths,
+  hit/miss/eviction and admission counters.
+
+Blocking session work (tracing, canonical serialisation) runs on a
+dedicated thread-pool executor; the event loop only ever does parsing,
+admission, and chunk shuttling.  Request bodies are JSON objects::
+
+    {"photons": 2000, "seed": 123, "sigma": 3.0, "rng": "auto",
+     "deadline": 10.0, "batch": 512}
+
+all fields optional (defaults mirror the ``repro simulate`` CLI), with
+``batch`` (stream chunk size) and ``deadline`` (seconds, admission +
+service) being service-level extras.  Unknown fields are rejected —
+the same strictness the scene schema applies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+from urllib.parse import quote
+
+from ..api import RenderSession, SceneProgram, SessionOptions, SimulateRequest
+from ..core.answerfile import forest_to_dict
+from ..core.bintree import SplitPolicy
+from . import http
+from .errors import (
+    BadRequest,
+    DeadlineExceeded,
+    SceneNotServed,
+    ServiceError,
+)
+from .pool import SessionPool
+from .registry import ProgramRegistry, ResidentProgram, program_nbytes
+
+__all__ = ["RenderService", "ServiceConfig", "canonical_answer_bytes"]
+
+#: Default per-request deadline when neither the request nor the config
+#: names one (generous: admission is what protects the service).
+DEFAULT_DEADLINE_SECONDS = 30.0
+
+#: Body fields a simulate request may carry (strict, like the scene schema).
+_REQUEST_FIELDS = frozenset(
+    {"photons", "seed", "sigma", "rng", "deadline", "batch"}
+)
+
+#: Sentinel returned by the executor-side stream step on exhaustion.
+_STREAM_DONE = object()
+
+
+def canonical_answer_bytes(result) -> bytes:
+    """The canonical answer serialisation of a simulation result.
+
+    Exactly the bytes :func:`repro.core.answerfile.save_answer` writes
+    (same encoder, same defaults), so a served response can be compared
+    byte-for-byte — ``cmp`` in CI — against a CLI answer file.
+    """
+    return json.dumps(forest_to_dict(result.forest)).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Provisioning of one :class:`RenderService`.
+
+    Attributes:
+        scenes: The serving set — every spec (registered name,
+            ``file:...``, ``gen:...``) this service will answer for.
+            Specs outside the set 404; listed specs are admitted (and
+            re-admitted after eviction) on demand.
+        host / port: Bind address; port ``0`` picks an ephemeral port
+            (read it back from :attr:`RenderService.port`).
+        max_programs / max_bytes: Residency budget of the program
+            registry (see :class:`~repro.service.registry.ProgramRegistry`).
+        sessions_per_scene: Session-pool bound per resident scene.
+        queue_limit: Bounded wait queue per scene; the next acquirer is
+            rejected with HTTP 429.
+        default_deadline: Per-request deadline (seconds) when the
+            request body does not set one.
+        options: The :class:`~repro.api.SessionOptions` every pooled
+            session is provisioned with (engine, accel, workers, ...).
+        max_body_bytes: Request-body cap (HTTP 413 above it).
+        executor_threads: Blocking-work thread count; defaults to
+            ``max_programs * sessions_per_scene + 2`` so every pooled
+            session can trace concurrently with cleanup headroom.
+    """
+
+    scenes: tuple[str, ...]
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_programs: int = 4
+    max_bytes: Optional[int] = None
+    sessions_per_scene: int = 2
+    queue_limit: int = 8
+    default_deadline: float = DEFAULT_DEADLINE_SECONDS
+    options: SessionOptions = field(default_factory=SessionOptions)
+    max_body_bytes: int = 1 << 20
+    executor_threads: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenes:
+            raise ValueError("a service needs at least one scene spec")
+        if len(set(self.scenes)) != len(self.scenes):
+            raise ValueError(f"duplicate scene specs in {self.scenes}")
+        if self.sessions_per_scene < 1:
+            raise ValueError("sessions_per_scene must be at least 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive")
+        if self.max_programs < 1:
+            raise ValueError("max_programs must be at least 1")
+
+    @property
+    def resolved_executor_threads(self) -> int:
+        if self.executor_threads is not None:
+            return self.executor_threads
+        return self.max_programs * self.sessions_per_scene + 2
+
+
+@dataclass
+class _SimulateParams:
+    """A parsed, validated simulate request body."""
+
+    request: SimulateRequest
+    deadline: float
+    batch: Optional[int]
+
+
+class RenderService:
+    """Many scenes, one process, HTTP in front.  See the module doc.
+
+    Lifecycle: :meth:`start` binds the socket, :meth:`serve_forever`
+    blocks until :meth:`close` (idempotent) tears everything down —
+    server first, then in-flight handlers, then the executor, then
+    every session pool, so by the time :meth:`close` returns all
+    ``/dev/shm`` segments this process published are unlinked
+    (:func:`repro.parallel.shmplane.leaked_segments` is empty).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._allowed = set(config.scenes)
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._registry: Optional[ProgramRegistry] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._handlers: set[asyncio.Task] = set()
+        self._background: set[asyncio.Future] = set()
+        #: Pools evicted while a session was checked out; force-retired
+        #: at shutdown so a slow release can never leak a segment.
+        self._draining_pools: set[SessionPool] = set()
+        self._closed = False
+        # Traffic counters (/stats).
+        self.served_oneshot = 0
+        self.served_stream = 0
+        self.rejected_deadline = 0
+        self.cancelled_streams = 0
+        self.bad_requests = 0
+        self.not_found = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 after :meth:`start`)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Validate the serving set, then bind and start accepting."""
+        self._loop = asyncio.get_running_loop()
+        self._check_scene_specs()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.resolved_executor_threads,
+            thread_name_prefix="repro-service",
+        )
+        self._registry = ProgramRegistry(
+            self._admit,
+            max_programs=self.config.max_programs,
+            max_bytes=self.config.max_bytes,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    def _check_scene_specs(self) -> None:
+        """Fail startup loudly on specs that can never resolve.
+
+        Registered names are checked against the registry; ``file:``
+        specs must point at an existing file.  ``gen:`` specs are
+        validated by generating (cheap at boot, and the generator is
+        the only authority on its grammar).
+        """
+        from ..scenes import get_scene, scene_registry
+
+        known = scene_registry()
+        for spec in self.config.scenes:
+            if spec.startswith("file:"):
+                import os
+
+                path = spec[len("file:"):]
+                if not os.path.exists(path):
+                    raise ValueError(f"scene file not found: {path!r}")
+            elif spec.startswith("gen:"):
+                get_scene(spec)  # raises ValueError on a bad spec
+            elif spec not in known:
+                raise ValueError(
+                    f"unknown scene {spec!r}; valid names: {sorted(known)}, "
+                    "or use 'file:<path>' / 'gen:<spec>'"
+                )
+
+    async def serve_forever(self) -> None:
+        """Serve accepted connections until cancelled; requires start()."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Graceful teardown; see the class docstring for ordering."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        # Stream/one-shot cleanups queue release jobs through the
+        # executor; draining it guarantees no trace or gen.close() is
+        # still running when the pools are force-retired below.
+        if self._executor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._executor.shutdown
+            )
+        # Cleanup callbacks land on the loop via call_soon_threadsafe;
+        # yield a few times so every queued release task materialises in
+        # _background before it is drained.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        while self._background:
+            await asyncio.gather(
+                *list(self._background), return_exceptions=True
+            )
+        if self._registry is not None:
+            await self._registry.close(force=True)
+        for pool in list(self._draining_pools):
+            await pool.retire(force=True)
+        self._draining_pools.clear()
+
+    # -- admission ---------------------------------------------------------
+
+    async def _admit(self, spec: str) -> ResidentProgram:
+        """Registry factory: build + compile the scene off-loop."""
+        assert self._loop is not None and self._executor is not None
+
+        def build() -> tuple[SceneProgram, int]:
+            from ..scenes import get_scene
+
+            program = SceneProgram.compile(get_scene(spec), eager=True)
+            return program, program_nbytes(program)
+
+        program, nbytes = await self._loop.run_in_executor(
+            self._executor, build
+        )
+        pool = SessionPool(
+            program,
+            self.config.options,
+            max_sessions=self.config.sessions_per_scene,
+            queue_limit=self.config.queue_limit,
+            label=spec,
+        )
+        return ResidentProgram(spec, program, pool, nbytes=nbytes)
+
+    async def _resident(self, spec: str) -> ResidentProgram:
+        if spec not in self._allowed:
+            served = ", ".join(sorted(self._allowed))
+            raise SceneNotServed(
+                f"scene {spec!r} is not served here; serving: {served}"
+            )
+        assert self._registry is not None
+        entry = await self._registry.get(spec)
+        if entry.pool.draining:
+            self._track_draining(entry.pool)
+        return entry
+
+    def _track_draining(self, pool: SessionPool) -> None:
+        if pool.draining and not pool.empty:
+            self._draining_pools.add(pool)
+        else:
+            self._draining_pools.discard(pool)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._handlers.add(task)
+        try:
+            try:
+                request = await http.read_request(
+                    reader, self.config.max_body_bytes
+                )
+            except ServiceError as exc:
+                writer.write(
+                    http.json_response(exc.status, exc.to_payload())
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; per-route cleanup already ran
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover — last-resort guard
+            print(f"repro-serve: handler error: {exc!r}", file=sys.stderr)
+            try:
+                writer.write(
+                    http.json_response(
+                        500,
+                        {"error": {"code": "internal-error",
+                                   "message": str(exc)}},
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: http.HttpRequest, writer) -> None:
+        try:
+            await self._route(request, writer)
+        except ServiceError as exc:
+            if isinstance(exc, BadRequest):
+                self.bad_requests += 1
+            elif isinstance(exc, SceneNotServed):
+                self.not_found += 1
+            elif isinstance(exc, DeadlineExceeded):
+                self.rejected_deadline += 1
+            extra = ()
+            if exc.retry_after is not None:
+                extra = (("Retry-After", f"{exc.retry_after:g}"),)
+            writer.write(
+                http.json_response(
+                    exc.status, exc.to_payload(), extra_headers=extra
+                )
+            )
+            await writer.drain()
+
+    async def _route(self, request: http.HttpRequest, writer) -> None:
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                raise _method_not_allowed(request.method, path)
+            writer.write(http.json_response(200, {"status": "ok"}))
+            await writer.drain()
+            return
+        if path == "/stats":
+            if request.method != "GET":
+                raise _method_not_allowed(request.method, path)
+            writer.write(http.json_response(200, self.stats()))
+            await writer.drain()
+            return
+        spec = _simulate_spec(path)
+        if spec is None:
+            self.not_found += 1
+            writer.write(
+                http.json_response(
+                    404,
+                    {"error": {"code": "no-such-route",
+                               "message": f"no route for {path!r}"}},
+                )
+            )
+            await writer.drain()
+            return
+        if request.method != "POST":
+            raise _method_not_allowed(request.method, path)
+        params = self._parse_simulate(request.json_body())
+        stream = request.query.get("stream", "0").lower() in ("1", "true", "yes")
+        if stream:
+            await self._serve_stream(spec, params, writer)
+        else:
+            await self._serve_oneshot(spec, params, writer)
+
+    def _parse_simulate(self, body: dict) -> _SimulateParams:
+        unknown = set(body) - _REQUEST_FIELDS
+        if unknown:
+            raise BadRequest(
+                f"unknown request fields {sorted(unknown)}; "
+                f"valid: {sorted(_REQUEST_FIELDS)}"
+            )
+        try:
+            photons = int(body.get("photons", 20_000))
+            seed = int(body.get("seed", 0x1234ABCD330E))
+            sigma = float(body.get("sigma", 3.0))
+            rng = str(body.get("rng", "auto"))
+            deadline = float(body.get("deadline", self.config.default_deadline))
+            batch = body.get("batch")
+            batch = int(batch) if batch is not None else None
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad request field: {exc}") from None
+        if deadline <= 0:
+            raise BadRequest(f"deadline must be positive, got {deadline}")
+        if batch is not None and batch < 1:
+            raise BadRequest(f"batch must be positive, got {batch}")
+        try:
+            request = SimulateRequest(
+                n_photons=photons,
+                seed=seed,
+                policy=SplitPolicy(threshold=sigma),
+                rng_mode=rng,
+            )
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+        return _SimulateParams(request=request, deadline=deadline, batch=batch)
+
+    # -- the serving paths -------------------------------------------------
+
+    async def _serve_oneshot(
+        self, spec: str, params: _SimulateParams, writer
+    ) -> None:
+        assert self._loop is not None and self._executor is not None
+        t0 = self._loop.time()
+        entry = await self._resident(spec)
+        remaining = params.deadline - (self._loop.time() - t0)
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {params.deadline:.3f}s elapsed during admission"
+            )
+        session = await entry.pool.acquire(timeout=remaining)
+        remaining = params.deadline - (self._loop.time() - t0)
+        if remaining <= 0:
+            await entry.pool.release(session)
+            self._track_draining(entry.pool)
+            raise DeadlineExceeded(
+                f"deadline of {params.deadline:.3f}s elapsed during admission"
+            )
+
+        def run() -> bytes:
+            result = session.simulate(params.request)
+            return canonical_answer_bytes(result)
+
+        fut = self._loop.run_in_executor(self._executor, run)
+        # The session goes back to the pool when the trace really ends,
+        # which may be after the deadline response below — a timed-out
+        # trace cannot be interrupted, only declined.
+        fut.add_done_callback(
+            lambda _f: self._spawn_release(entry.pool, session)
+        )
+        try:
+            body = await asyncio.wait_for(asyncio.shield(fut), remaining)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                f"request exceeded its {params.deadline:.3f}s deadline "
+                f"({params.request.n_photons} photons on {spec!r})"
+            ) from None
+        writer.write(http.response_bytes(200, body))
+        await writer.drain()
+        self.served_oneshot += 1
+
+    async def _serve_stream(
+        self, spec: str, params: _SimulateParams, writer
+    ) -> None:
+        assert self._loop is not None and self._executor is not None
+        t0 = self._loop.time()
+        entry = await self._resident(spec)
+        remaining = params.deadline - (self._loop.time() - t0)
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {params.deadline:.3f}s elapsed during admission"
+            )
+        session = await entry.pool.acquire(timeout=remaining)
+        try:
+            gen = session.simulate_stream(params.request, params.batch)
+        except ValueError as exc:
+            await entry.pool.release(session)
+            self._track_draining(entry.pool)
+            raise BadRequest(str(exc)) from None
+        chunk = params.batch or session.options.batch_size
+        total_yields = max(1, math.ceil(params.request.n_photons / chunk))
+        pending: Optional[concurrent.futures.Future] = None
+        truncated = False
+        try:
+            await http.start_chunked(writer)
+            for index in range(1, total_yields + 1):
+                if params.deadline - (self._loop.time() - t0) <= 0:
+                    # Headers are long gone, so the deadline is reported
+                    # in-band: a final error line, then a clean chunked
+                    # terminator (loud, not dropped).
+                    truncated = True
+                    self.rejected_deadline += 1
+                    await http.write_chunk(
+                        writer,
+                        _stream_error_line(
+                            "deadline-exceeded",
+                            f"stream truncated after {index - 1} of "
+                            f"{total_yields} chunks",
+                        ),
+                    )
+                    break
+                pending = self._executor.submit(_stream_step, gen)
+                result = await asyncio.wrap_future(pending)
+                pending = None
+                if result is _STREAM_DONE:
+                    break
+                if index == total_yields:
+                    final = self._executor.submit(
+                        canonical_answer_bytes, result
+                    )
+                    pending = final
+                    line = await asyncio.wrap_future(final) + b"\n"
+                    pending = None
+                else:
+                    line = _progress_line(result, params.request.n_photons)
+                await http.write_chunk(writer, line)
+            await http.end_chunked(writer)
+            if not truncated:
+                self.served_stream += 1
+        except (ConnectionError, asyncio.CancelledError):
+            self.cancelled_streams += 1
+            raise
+        except Exception as exc:
+            # A mid-trace failure after the 200 head was sent: report it
+            # in-band rather than corrupting the framing with a late 500.
+            print(f"repro-serve: stream error: {exc!r}", file=sys.stderr)
+            try:
+                await http.write_chunk(
+                    writer, _stream_error_line("internal-error", str(exc))
+                )
+                await http.end_chunked(writer)
+            except ConnectionError:
+                pass
+        finally:
+            # The disconnect/cancel path: wait out any in-flight step on
+            # an executor thread (never the loop), close the generator —
+            # which releases the session's reentrancy guard — and only
+            # then hand the session back to the pool.
+            cleanup = self._executor.submit(_close_stream, pending, gen)
+            cleanup.add_done_callback(
+                lambda _f: self._loop.call_soon_threadsafe(
+                    self._spawn_release, entry.pool, session
+                )
+            )
+
+    def _spawn_release(self, pool: SessionPool, session: RenderSession) -> None:
+        """Schedule an async pool release from a done-callback."""
+        assert self._loop is not None
+        task = self._loop.create_task(pool.release(session))
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+        task.add_done_callback(lambda _t: self._track_draining(pool))
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The /stats payload (also handy programmatically in tests)."""
+        assert self._registry is not None
+        scenes = {
+            entry.spec: entry.stats()
+            for entry in self._registry.resident_entries()
+        }
+        return {
+            "status": "ok",
+            "programs": self._registry.stats(),
+            "scenes": scenes,
+            "requests": {
+                "served_oneshot": self.served_oneshot,
+                "served_stream": self.served_stream,
+                "rejected_queue_full": sum(
+                    s["pool"]["rejected_queue_full"] for s in scenes.values()
+                ),
+                "rejected_deadline": self.rejected_deadline,
+                "cancelled_streams": self.cancelled_streams,
+                "bad_requests": self.bad_requests,
+                "not_found": self.not_found,
+                "active_connections": len(self._handlers),
+                "draining_pools": len(self._draining_pools),
+            },
+        }
+
+
+# -- module helpers (executor-side; no loop state) -------------------------
+
+
+def _simulate_spec(path: str) -> Optional[str]:
+    """Extract the scene spec from ``/scenes/<spec>/simulate`` paths.
+
+    The spec may itself contain slashes (``file:scenes/a.json``), so the
+    route is matched by prefix and suffix, not by segment count.
+    """
+    prefix, suffix = "/scenes/", "/simulate"
+    if not (path.startswith(prefix) and path.endswith(suffix)):
+        return None
+    spec = path[len(prefix):-len(suffix)]
+    return spec or None
+
+
+def simulate_path(spec: str, stream: bool = False) -> str:
+    """The URL path serving *spec* (client-side convenience)."""
+    return (
+        f"/scenes/{quote(spec, safe=':@/')}" + "/simulate"
+        + ("?stream=1" if stream else "")
+    )
+
+
+def _method_not_allowed(method: str, path: str) -> ServiceError:
+    exc = ServiceError(f"{method} not allowed on {path}")
+    exc.status = 405
+    exc.code = "method-not-allowed"
+    return exc
+
+
+def _stream_step(gen: Iterator):
+    """One blocking ``next`` on the stream generator (executor side)."""
+    try:
+        return next(gen)
+    except StopIteration:
+        return _STREAM_DONE
+
+
+def _close_stream(
+    pending: Optional[concurrent.futures.Future], gen
+) -> None:
+    """Executor-side stream cleanup: wait out the in-flight step, close.
+
+    Closing a generator while another thread executes ``next`` on it
+    raises ``ValueError``, so the in-flight step (if any) is awaited
+    first; ``gen.close()`` then runs the generator's release path (the
+    session's reentrancy guard clears here).
+    """
+    if pending is not None:
+        concurrent.futures.wait([pending])
+    try:
+        gen.close()
+    except Exception:  # pragma: no cover — close must never mask cleanup
+        pass
+
+
+def _stream_error_line(code: str, message: str) -> bytes:
+    """An in-band NDJSON error line (the post-headers failure path)."""
+    return json.dumps(
+        {"error": {"code": code, "message": message}}
+    ).encode("utf-8") + b"\n"
+
+
+def _progress_line(result, n_photons: int) -> bytes:
+    """A non-final NDJSON stream line (cumulative progress summary)."""
+    forest = result.forest
+    return json.dumps(
+        {
+            "progress": {
+                "photons": forest.photons_emitted,
+                "of": n_photons,
+                "leaves": forest.leaf_count,
+                "tallies": forest.total_tallies,
+            }
+        }
+    ).encode("utf-8") + b"\n"

@@ -1,0 +1,190 @@
+"""SessionPool semantics: lazy growth, admission control, draining.
+
+The pool is the serving tier's concurrency unit — a session serves one
+request at a time (the reentrancy guard), so the pool bounds how many
+requests one scene serves concurrently and *queues or rejects* the
+rest.  These tests pin the checkout state machine directly, without
+HTTP in the way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import SceneProgram, SessionOptions
+from repro.service import DeadlineExceeded, ServiceOverloaded, SessionPool
+
+
+@pytest.fixture(scope="module")
+def program(mini_scene) -> SceneProgram:
+    return SceneProgram.compile(mini_scene)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCheckout:
+    def test_lazy_growth_and_lifo_reuse(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=2)
+            a = await pool.acquire()
+            b = await pool.acquire()
+            assert a is not b and pool.in_use == 2
+            await pool.release(b)
+            await pool.release(a)
+            # LIFO: the most recently returned (hottest) session first.
+            assert await pool.acquire() is a
+            assert await pool.acquire() is b
+            assert pool.stats()["sessions"] == 2
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_handoff_is_fifo(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=4)
+            held = await pool.acquire()
+            first = asyncio.ensure_future(pool.acquire())
+            second = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0)
+            assert pool.stats()["queued"] == 2
+            await pool.release(held)
+            assert await first is held
+            assert not second.done()
+            await pool.release(held)
+            assert await second is held
+            await pool.release(held)
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_queue_full_rejects_loudly(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=1)
+            held = await pool.acquire()
+            waiter = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(ServiceOverloaded) as info:
+                await pool.acquire()
+            assert "at capacity" in str(info.value)
+            assert info.value.status == 429
+            assert pool.rejected_queue_full == 1
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+            await pool.release(held)
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_zero_queue_limit_disables_waiting(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=0)
+            held = await pool.acquire()
+            with pytest.raises(ServiceOverloaded):
+                await pool.acquire()
+            await pool.release(held)
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_deadline_while_queued(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=2)
+            held = await pool.acquire()
+            with pytest.raises(DeadlineExceeded):
+                await pool.acquire(timeout=0.01)
+            assert pool.rejected_deadline == 1
+            assert pool.stats()["queued"] == 0  # the dead waiter left
+            await pool.release(held)
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_cancelled_waiter_leaves_queue(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=2)
+            held = await pool.acquire()
+            waiter = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0)
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+            assert pool.stats()["queued"] == 0
+            # A release with an empty queue re-pools instead of stranding.
+            await pool.release(held)
+            assert await pool.acquire() is held
+            await pool.release(held)
+            await pool.retire(force=True)
+
+        run(main())
+
+
+class TestDraining:
+    def test_retire_fails_waiters_and_refuses_acquires(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=1, queue_limit=2)
+            held = await pool.acquire()
+            waiter = asyncio.ensure_future(pool.acquire())
+            await asyncio.sleep(0)
+            await pool.retire()
+            with pytest.raises(ServiceOverloaded, match="evicted"):
+                await waiter
+            with pytest.raises(ServiceOverloaded, match="draining"):
+                await pool.acquire()
+            assert pool.draining and not pool.empty
+            # The checked-out session finishes its request, then closes
+            # on release — the graceful half of eviction.
+            await pool.release(held)
+            assert held._closed and pool.empty
+            await pool.retire(force=True)
+
+        run(main())
+
+    def test_retire_closes_idle_sessions(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=2)
+            a = await pool.acquire()
+            b = await pool.acquire()
+            await pool.release(a)
+            await pool.release(b)
+            await pool.retire()
+            assert a._closed and b._closed
+            assert pool.empty
+
+        run(main())
+
+    def test_force_retire_closes_everything(self, program):
+        async def main():
+            pool = SessionPool(program, max_sessions=2)
+            a = await pool.acquire()
+            await pool.retire(force=True)
+            assert a._closed
+            assert pool.stats()["sessions"] == 0
+
+        run(main())
+
+
+class TestValidation:
+    def test_bad_bounds(self, program):
+        with pytest.raises(ValueError):
+            SessionPool(program, max_sessions=0)
+        with pytest.raises(ValueError):
+            SessionPool(program, queue_limit=-1)
+
+    def test_sessions_actually_serve(self, program):
+        from repro.api import SimulateRequest
+
+        async def main():
+            pool = SessionPool(program, SessionOptions(), max_sessions=1)
+            session = await pool.acquire()
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                None, session.simulate, SimulateRequest(n_photons=60)
+            )
+            assert result.forest.photons_emitted == 60
+            await pool.release(session)
+            await pool.retire(force=True)
+
+        run(main())

@@ -58,6 +58,27 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "s", "--out", "x.json"])
         assert args.result_plane == "auto"
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--scene", "cornell-box",
+             "--scene", "gen:office-8@0xBEEF",
+             "--port", "8080", "--max-programs", "2",
+             "--pool-size", "3", "--queue-limit", "4",
+             "--deadline", "5.5"]
+        )
+        assert args.scene == ["cornell-box", "gen:office-8@0xBEEF"]
+        assert args.port == 8080
+        assert args.max_programs == 2
+        assert args.pool_size == 3
+        assert args.queue_limit == 4
+        assert args.deadline == 5.5
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--scene", "s"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.engine == "vector"
+        assert args.max_bytes is None
+
 
 class TestSimulateUsageErrors:
     """Config rejections surface as argparse usage errors, not tracebacks."""
@@ -90,6 +111,62 @@ class TestSimulateUsageErrors:
             )
         assert excinfo.value.code == 2
         assert "--repeat" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_no_scene_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "--scene" in capsys.readouterr().err
+
+    def test_unknown_scene_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scene", "no-such-scene"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no-such-scene" in err and "usage:" in err
+
+    def test_bad_pool_size_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scene", "cornell-box", "--pool-size", "0"])
+        assert excinfo.value.code == 2
+        assert "sessions_per_scene" in capsys.readouterr().err
+
+    def test_boot_serve_sigterm(self):
+        """`repro serve` boots, answers /healthz, exits 0 on SIGTERM."""
+        import re
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--scene", "cornell-box", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            for line in proc.stdout:
+                match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port, "no readiness line before stdout closed"
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=60
+            ) as response:
+                assert response.status == 200
+            proc.send_signal(signal.SIGTERM)
+            assert "bye" in proc.stdout.read()
+            assert proc.wait(timeout=120) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
 
 
 class TestScenesCommand:

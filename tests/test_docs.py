@@ -49,7 +49,10 @@ def repro_argv(command: str) -> list[str] | None:
     m = re.match(r"(?:PYTHONPATH=\S+\s+)?python -m repro\s+(.*)", command)
     if m is None:
         return None
-    return m.group(1).split()
+    argv = m.group(1).split()
+    if argv and argv[-1] == "&":  # the documented background `serve`
+        argv.pop()
+    return argv
 
 
 def all_doc_commands() -> list[tuple[str, str]]:
@@ -81,6 +84,15 @@ class TestCommandsParse:
             assert (REPO_ROOT / "pyproject.toml").exists()
         elif "python -m pytest" in command:
             assert (REPO_ROOT / "conftest.py").exists()
+        elif command.startswith("curl "):
+            # Documented service clients must target the serve
+            # quickstart's port and routes the service actually has.
+            assert re.search(
+                r"localhost:8000/(scenes/\S+/simulate|stats|healthz)",
+                command,
+            ), f"{doc}: curl target not a documented service route"
+        elif command.startswith("kill "):
+            pass  # stops the documented background `serve`
         elif m := re.match(r"(?:PYTHONPATH=\S+\s+)?python (examples/\S+)", command):
             assert (REPO_ROOT / m.group(1)).exists(), f"{doc}: {m.group(1)} missing"
         else:
@@ -97,6 +109,8 @@ class TestReadmeQuickstartExecutes:
             argv = repro_argv(command)
             if argv is None:
                 continue
+            if argv[0] == "serve":
+                continue  # blocks until signalled; executed below
             if "--photons" in argv:
                 argv[argv.index("--photons") + 1] = TINY_PHOTONS
             if "--workers" in argv:
@@ -114,6 +128,74 @@ class TestReadmeQuickstartExecutes:
         assert (tmp_path / "cornell.answer.json").exists()
         assert (tmp_path / "lab.answer.json").exists()
         assert (tmp_path / "cornell.ppm").exists()
+
+
+class TestReadmeServeExecutes:
+    """The README serve block boots, serves its documented routes, dies."""
+
+    def test_serve_block(self, tmp_path):
+        import json
+        import signal
+        import urllib.request
+
+        serve_argv = None
+        curl_paths = []
+        for command in bash_commands(REPO_ROOT / "README.md"):
+            argv = repro_argv(command)
+            if argv is not None and argv[0] == "serve":
+                serve_argv = argv
+            elif command.startswith("curl "):
+                m = re.search(r"localhost:8000(/[^'\s]*)", command)
+                assert m, f"curl without a service path: {command!r}"
+                curl_paths.append(m.group(1))
+        assert serve_argv, "README lost its serve quickstart"
+        assert curl_paths, "README lost its curl examples"
+
+        # Ephemeral port instead of the documented 8000; the readiness
+        # line reports the bound port.
+        serve_argv[serve_argv.index("--port") + 1] = "0"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *serve_argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+        try:
+            port = None
+            for line in proc.stdout:
+                m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+                if m:
+                    port = int(m.group(1))
+                    break
+            assert port, "serve never printed its readiness line"
+            for path in curl_paths:
+                url = f"http://127.0.0.1:{port}{path}"
+                if "/simulate" in path:
+                    request = urllib.request.Request(
+                        url,
+                        data=b'{"photons": 200}',
+                        headers={"Content-Type": "application/json"},
+                    )
+                else:
+                    request = urllib.request.Request(url)
+                with urllib.request.urlopen(request, timeout=120) as resp:
+                    assert resp.status == 200, path
+                    body = resp.read()
+                # Every documented route answers JSON (streams: NDJSON
+                # whose final line is the canonical answer).
+                json.loads(body.decode().strip().splitlines()[-1])
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
 
 
 #: Tiny-budget argv for every example script.  A new example must be
