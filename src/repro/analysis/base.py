@@ -1,0 +1,131 @@
+"""Checker base class and the per-file lint context.
+
+A checker is an ``ast.NodeVisitor`` over one parsed file.  It declares
+the :class:`~repro.analysis.findings.Rule` records it can emit and
+reports violations through :meth:`Checker.emit`; the engine handles
+scope gating (canonical-only rules), pragma suppression, the baseline,
+and output formatting, so rule modules stay pure AST logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .findings import Finding, Rule
+
+__all__ = ["Checker", "LintContext", "resolve_imports", "dotted_name"]
+
+
+def resolve_imports(tree: ast.AST) -> dict[str, str]:
+    """Local name -> qualified dotted name, from every import statement.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    time`` maps ``time -> time.time``.  Function-local imports are
+    collected too (best effort — one namespace per file is plenty for
+    lint-grade resolution).  Relative imports keep their leading dots,
+    which never match a forbidden stdlib name, as intended.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{module}.{alias.name}" if module else alias.name
+    return imports
+
+
+def dotted_name(node: ast.AST, imports: Optional[dict[str, str]] = None) -> Optional[str]:
+    """The dotted name of a Name/Attribute chain, import-resolved.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; chains hanging off calls or
+    subscripts resolve to ``None`` (only static attribute walks count).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = node.id
+    if imports and base in imports:
+        base = imports[base]
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class LintContext:
+    """Everything checkers may consult about the file being linted."""
+
+    path: str  # display path (relative to the lint root when possible)
+    source: str
+    tree: ast.Module
+    canonical: bool = False
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<memory>", canonical: bool = False
+    ) -> "LintContext":
+        """Parse *source* into a ready context (raises ``SyntaxError``)."""
+        tree = ast.parse(source)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            canonical=canonical,
+            imports=resolve_imports(tree),
+        )
+
+
+class Checker(ast.NodeVisitor):
+    """Base class: one rule family walking one file's AST.
+
+    Subclasses set :attr:`rules` and call :meth:`emit` from their
+    ``visit_*`` methods.  The engine instantiates a fresh checker per
+    file, so instance state never leaks across files.
+    """
+
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    @property
+    def scope(self) -> str:
+        """The widest scope among this checker's rules."""
+        return "canonical" if all(
+            r.scope == "canonical" for r in self.rules
+        ) else "all"
+
+    def emit(self, node: ast.AST, rule: str, message: str) -> None:
+        """Record a finding anchored at *node*'s source position."""
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        """Walk the tree once and return everything this checker found."""
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """The import-resolved dotted name of an expression, else None."""
+        return dotted_name(node, self.ctx.imports)

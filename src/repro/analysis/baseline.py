@@ -1,0 +1,66 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+The file is JSON — ``{"findings": [{"path", "rule", "message"}, ...]}``
+— fingerprinted without line numbers so edits elsewhere in a file do
+not resurface a grandfathered finding.  The repo's checked-in baseline
+is **empty** (every finding the suite surfaced was fixed or pragma-
+annotated in place); the machinery exists so future rules can land
+strict-by-default without blocking on a repo-wide cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file (missing file: empty)."""
+    if not path.is_file():
+        return Counter()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    return Counter(
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in doc.get("findings", ())
+    )
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Serialise *findings* (line-free fingerprints) to *path* as JSON."""
+    doc = {
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ]
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding], int]:
+    """(live, grandfathered, stale-entry-count) under *baseline*.
+
+    Each baseline entry absorbs at most as many findings as it was
+    recorded with — a multiset match, so duplicating a grandfathered
+    violation still fails.  ``stale`` counts entries that matched
+    nothing (fixed since recording; a hint to regenerate).
+    """
+    remaining = Counter(baseline)
+    live: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            live.append(finding)
+    stale = sum(count for count in remaining.values() if count > 0)
+    return live, grandfathered, stale

@@ -1,0 +1,64 @@
+"""The lint argument set, shared by ``repro lint`` and ``-m repro.analysis``.
+
+One definition keeps the two entry points' flags, defaults, and help
+text from drifting; both parsers route through
+:func:`repro.analysis.engine.run` afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["add_lint_arguments"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared `repro lint` argument surface to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: the [tool.repro.lint] "
+            "include paths next to the nearest pyproject.toml)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text = 'path:line: rule-id message' lines; json = machine-readable",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="RULE-ID",
+        help="run only this rule (repeatable); unknown ids are usage errors",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help=(
+            "additionally skip paths matching PATTERN during directory "
+            "walks (root-relative prefix or fnmatch glob; repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file overriding the configured one",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report grandfathered findings as live (audit mode)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings to PATH as the new baseline and exit 0",
+    )

@@ -1,0 +1,283 @@
+"""The lint driver: file discovery, rule dispatch, suppression, output.
+
+``repro lint`` and ``python -m repro.analysis`` both land here.  Exit
+codes are a contract the CLI tests pin:
+
+* **0** — clean (no live findings; grandfathered ones don't count),
+* **1** — at least one live finding,
+* **2** — usage or parse error (unknown rule id, missing path, a
+  scanned file that does not parse).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TextIO
+
+from .base import LintContext, resolve_imports
+from .baseline import load_baseline, split_baselined, write_baseline
+from .config import LintConfig, load_config
+from .findings import Finding
+from .pragmas import allow_pragmas, is_canonical_marked, suppressed_by_pragma
+from .rules import ALL_CHECKERS, all_rule_ids
+
+__all__ = ["LintResult", "lint_source", "lint_paths", "run", "main"]
+
+
+class UsageError(Exception):
+    """A bad invocation or unparseable input (exit code 2)."""
+
+
+class LintResult:
+    """Everything one run produced, pre-formatting."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []          # live (fail the run)
+        self.grandfathered: list[Finding] = []     # matched the baseline
+        self.suppressed = 0                        # pragma-silenced count
+        self.stale_baseline = 0                    # baseline entries unmatched
+        self.checked_files = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> dict:
+        """The --format json document for this run."""
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "grandfathered": [f.to_json() for f in self.grandfathered],
+            "suppressed": self.suppressed,
+            "stale_baseline": self.stale_baseline,
+            "checked_files": self.checked_files,
+        }
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    *,
+    canonical: Optional[bool] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Lint one source string; pragma suppression applies, no baseline.
+
+    ``canonical=None`` means "whatever the file marker says" — pass
+    True/False to force the determinism scope.  The docs harness and
+    the fixture tests call this directly.
+    """
+    if canonical is None:
+        canonical = is_canonical_marked(source)
+    ctx = LintContext.from_source(source, path=path, canonical=canonical)
+    findings: list[Finding] = []
+    for checker_cls in ALL_CHECKERS:
+        if checker_cls.rules[0].scope == "canonical" and not ctx.canonical:
+            continue
+        if rules is not None and not any(r.id in rules for r in checker_cls.rules):
+            continue
+        found = checker_cls(ctx).run()
+        if rules is not None:
+            found = [f for f in found if f.rule in rules]
+        findings.extend(found)
+    pragmas = allow_pragmas(source)
+    lines = source.splitlines()
+    return sorted(
+        (f for f in findings if not suppressed_by_pragma(f, pragmas, lines)),
+        key=lambda f: (f.line, f.col, f.rule),
+    )
+
+
+def _collect_files(
+    paths: Sequence[Path], config: LintConfig
+) -> list[Path]:
+    """Every .py file to lint.  Explicit file args bypass excludes."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            files.append(path)
+
+    for path in paths:
+        if not path.exists():
+            raise UsageError(f"no such file or directory: {path}")
+        if path.is_file():
+            add(path)
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            if not config.is_excluded(sub):
+                add(sub)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[str]] = None,
+    extra_exclude: Sequence[str] = (),
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint files/trees; raises :class:`UsageError` on bad input."""
+    paths = [Path(p) for p in paths]
+    if config is None:
+        config = load_config(paths)
+    if extra_exclude:
+        config.exclude = tuple(config.exclude) + tuple(extra_exclude)
+    if rules is not None:
+        known = set(all_rule_ids())
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            raise UsageError(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    disabled = set(config.disable)
+    effective_rules = (
+        [r for r in (rules or all_rule_ids()) if r not in disabled]
+        if (rules is not None or disabled)
+        else None
+    )
+
+    result = LintResult()
+    findings: list[Finding] = []
+    for path in _collect_files(paths, config):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise UsageError(f"cannot read {path}: {exc}") from exc
+        display = config.relpath(path)
+        try:
+            findings.extend(
+                lint_source(
+                    source,
+                    path=display,
+                    canonical=config.is_canonical(path)
+                    or is_canonical_marked(source),
+                    rules=effective_rules,
+                )
+            )
+        except SyntaxError as exc:
+            raise UsageError(
+                f"{display}:{exc.lineno or 0}: parse-error {exc.msg}"
+            ) from exc
+        result.checked_files += 1
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if use_baseline:
+        bl_path = baseline_path or config.baseline_path()
+        baseline = load_baseline(bl_path) if bl_path else None
+        if baseline:
+            live, grandfathered, stale = split_baselined(findings, baseline)
+            result.findings = live
+            result.grandfathered = grandfathered
+            result.stale_baseline = stale
+            return result
+    result.findings = findings
+    return result
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    out: TextIO,
+    fmt: str = "text",
+    rules: Optional[Sequence[str]] = None,
+    extra_exclude: Sequence[str] = (),
+    baseline: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline_to: Optional[str] = None,
+    error: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Full CLI behaviour over parsed arguments; returns the exit code.
+
+    *error* reports usage errors (argparse's ``parser.error`` when the
+    caller has one — it prints the synopsis and exits 2); the default
+    prints to stderr and returns 2 directly.
+    """
+    try:
+        path_objs = [Path(p) for p in paths]
+        config = load_config(path_objs)
+        if not paths:
+            path_objs = [config.root / inc for inc in config.include]
+            path_objs = [p for p in path_objs if p.exists()]
+            if not path_objs:
+                raise UsageError(
+                    "no paths given and no default include paths exist"
+                )
+        result = lint_paths(
+            path_objs,
+            config=config,
+            rules=rules,
+            extra_exclude=extra_exclude,
+            baseline_path=Path(baseline) if baseline else None,
+            use_baseline=not no_baseline and write_baseline_to is None,
+        )
+    except UsageError as exc:
+        if error is not None:
+            error(str(exc))  # argparse path: prints usage, raises SystemExit(2)
+        else:
+            print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if write_baseline_to is not None:
+        write_baseline(Path(write_baseline_to), result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {write_baseline_to}",
+            file=out,
+        )
+        return 0
+
+    if fmt == "json":
+        json.dump(result.to_json(), out, indent=2)
+        out.write("\n")
+        return result.exit_code
+
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    bits = [f"{len(result.findings)} finding(s)", f"{result.checked_files} file(s)"]
+    if result.grandfathered:
+        bits.append(f"{len(result.grandfathered)} baselined")
+    if result.stale_baseline:
+        bits.append(
+            f"{result.stale_baseline} stale baseline entr"
+            f"{'y' if result.stale_baseline == 1 else 'ies'} "
+            "(regenerate with --write-baseline)"
+        )
+    print("repro lint: " + ", ".join(bits), file=out)
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    import argparse
+
+    from .cliargs import add_lint_arguments
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-specific static analysis: determinism hygiene, "
+            "shared-memory lifecycle pairing, async blocking calls, "
+            "API-surface drift."
+        ),
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(
+        args.paths,
+        out=out or sys.stdout,
+        fmt=args.format,
+        rules=args.rule or None,
+        extra_exclude=args.exclude,
+        baseline=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_to=args.write_baseline,
+        error=parser.error,
+    )

@@ -1,0 +1,54 @@
+"""Finding and rule records shared by every checker and the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "Rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforceable contract: a stable id plus its one-line summary."""
+
+    id: str
+    summary: str
+    #: "all" runs on every scanned file; "canonical" only on modules the
+    #: determinism contract covers (config ``canonical`` patterns or a
+    #: ``# repro: canonical-module`` marker in the file).
+    scope: str = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is the display path (relative to the lint root when the
+    file lives under it); the ``(path, rule, message)`` triple is the
+    baseline fingerprint, deliberately excluding ``line`` so unrelated
+    edits above a grandfathered finding do not un-baseline it.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        """The ``path:line: rule-id message`` contract line."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serialisable dict (includes the line, unlike the fingerprint)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,64 @@
+"""Inline suppression: ``# repro: allow[rule-id]`` and file markers.
+
+A pragma on the finding's own line — or on a comment-only line directly
+above it — suppresses that rule there.  Several ids may share one
+bracket (``allow[det-random, det-wallclock]``); prose after the bracket
+is encouraged (the *why* belongs next to the escape hatch).
+
+``# repro: canonical-module`` anywhere in a file opts it into the
+determinism-scope rules regardless of its path (new canonical modules,
+and the fixture corpus, use this instead of config surgery).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+__all__ = ["allow_pragmas", "is_canonical_marked", "suppressed_by_pragma"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+_CANONICAL_RE = re.compile(r"#\s*repro:\s*canonical-module\b")
+
+
+def allow_pragmas(source: str) -> dict[int, set[str]]:
+    """1-based line -> set of allowed rule ids, from every pragma."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            out.setdefault(lineno, set()).update(ids)
+    return out
+
+
+def is_canonical_marked(source: str) -> bool:
+    """Whether the file opts into canonical scope via its marker comment."""
+    return _CANONICAL_RE.search(source) is not None
+
+
+def suppressed_by_pragma(
+    finding: Finding, pragmas: dict[int, set[str]], source_lines: list[str]
+) -> bool:
+    """True when a pragma covers the finding's line.
+
+    A pragma counts on the finding's own line, or anywhere in the
+    contiguous block of comment-only lines directly above it — the
+    justification prose is encouraged to span several lines, with the
+    ``allow[...]`` bracket on whichever line reads best.  A pragma
+    trailing an unrelated *statement* above never bleeds downward.
+    """
+    allowed = pragmas.get(finding.line)
+    if allowed and finding.rule in allowed:
+        return True
+    lineno = finding.line - 1
+    while lineno >= 1:
+        idx = lineno - 1
+        if idx >= len(source_lines) or not source_lines[idx].lstrip().startswith("#"):
+            return False
+        above = pragmas.get(lineno)
+        if above and finding.rule in above:
+            return True
+        lineno -= 1
+    return False

@@ -1,0 +1,46 @@
+"""The rule registry: every checker the engine runs, by family.
+
+Adding a rule = writing a :class:`~repro.analysis.base.Checker`
+subclass and listing it here; the engine, CLI ``--rule`` filter,
+pragma machinery, fixtures coverage test, and docs table all key off
+this registry.
+"""
+
+from __future__ import annotations
+
+from ..findings import Rule
+from .apisurface import AllResolvedChecker, ShimWarnsChecker
+from .asyncrules import AsyncBlockingChecker
+from .determinism import (
+    IdOrderingChecker,
+    RandomSourceChecker,
+    UnorderedIterationChecker,
+    WallClockChecker,
+)
+from .hygiene import BroadExceptChecker
+from .shm import ShmLifecycleChecker, ShmRawAttachChecker
+
+__all__ = ["ALL_CHECKERS", "all_rules", "all_rule_ids"]
+
+ALL_CHECKERS = (
+    RandomSourceChecker,
+    WallClockChecker,
+    UnorderedIterationChecker,
+    IdOrderingChecker,
+    ShmLifecycleChecker,
+    ShmRawAttachChecker,
+    AsyncBlockingChecker,
+    AllResolvedChecker,
+    ShimWarnsChecker,
+    BroadExceptChecker,
+)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every Rule the registered checkers implement, in registry order."""
+    return tuple(rule for checker in ALL_CHECKERS for rule in checker.rules)
+
+
+def all_rule_ids() -> tuple[str, ...]:
+    """Every known rule id, in registry order."""
+    return tuple(rule.id for rule in all_rules())

@@ -1,0 +1,157 @@
+"""API-surface drift: ``__all__`` honesty and loud deprecations.
+
+``__all__`` is the public contract the API lockdown tests pin; an
+entry that no longer resolves to a defined name turns ``from repro.x
+import *`` into an ImportError at the first consumer.  And a shim
+documented as deprecated but silent about it (no
+``warnings.warn(DeprecationWarning)``) strands callers on the old
+surface forever — the deprecation policy in ``repro/api`` requires
+every shim to warn.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..base import Checker
+from ..findings import Rule
+
+__all__ = ["AllResolvedChecker", "ShimWarnsChecker"]
+
+#: A docstring declares deprecation via the Sphinx directive or by
+#: leading with the word (prose merely *mentioning* shims elsewhere in
+#: the module must not conscript a helper into warning).
+_DEPRECATED_RE = re.compile(
+    r"(?m)^\s*\.\.\s+deprecated::|\A\s*deprecat", re.IGNORECASE
+)
+
+
+def _module_scope_nodes(tree: ast.Module):
+    """Statements reachable at import time, skipping callable bodies."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.ClassDef):
+            continue  # class attrs are not module names
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AllResolvedChecker(Checker):
+    """api-all-undefined: every __all__ entry must name a real thing."""
+
+    rules = (
+        Rule(
+            "api-all-undefined",
+            "__all__ entry does not resolve to a defined module name",
+        ),
+    )
+
+    def run(self):
+        """Collect module-scope bindings first, then resolve ``__all__``."""
+        tree = self.ctx.tree
+        defined: set[str] = set()
+        all_entries: list[ast.Constant] = []
+        star_import = False
+        for node in _module_scope_nodes(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    defined.add(alias.asname or alias.name.partition(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        defined.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                defined.add(elt.id)
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "__all__"
+                        and isinstance(
+                            getattr(node, "value", None), (ast.List, ast.Tuple)
+                        )
+                    ):
+                        for elt in node.value.elts:
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                all_entries.append(elt)
+            elif isinstance(node, (ast.For, ast.While, ast.With, ast.Try, ast.If)):
+                pass  # children already on the stack
+        if star_import:
+            return self.findings  # names are unknowable; stay silent
+        for entry in all_entries:
+            if entry.value not in defined:
+                self.emit(
+                    entry,
+                    "api-all-undefined",
+                    f"__all__ names {entry.value!r} but the module never "
+                    "defines it (drift between the export list and the "
+                    "module body)",
+                )
+        return self.findings
+
+
+class ShimWarnsChecker(Checker):
+    """api-shim-nowarn: deprecated shims must warn at runtime."""
+
+    rules = (
+        Rule(
+            "api-shim-nowarn",
+            "docstring declares deprecation but no "
+            "warnings.warn(DeprecationWarning) in the body",
+        ),
+    )
+
+    def _check_deprecated(self, node) -> None:
+        """Flag a deprecated-docstring'd def/class that never warns."""
+        doc = ast.get_docstring(node)
+        if doc and _DEPRECATED_RE.search(doc) and not self._warns(node):
+            self.emit(
+                node,
+                "api-shim-nowarn",
+                f"{node.name!r} documents itself as deprecated but never "
+                "calls warnings.warn(..., DeprecationWarning); silent "
+                "shims strand callers on the old surface",
+            )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_deprecated
+    visit_AsyncFunctionDef = _check_deprecated
+    visit_ClassDef = _check_deprecated
+
+    def _warns(self, node) -> bool:
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            qual = self.qualname(inner.func)
+            if qual is None or qual.rpartition(".")[2] != "warn":
+                continue
+            mentions = inner.args + [kw.value for kw in inner.keywords]
+            for arg in mentions:
+                for sub in ast.walk(arg):
+                    name = (
+                        sub.id
+                        if isinstance(sub, ast.Name)
+                        else sub.attr if isinstance(sub, ast.Attribute) else None
+                    )
+                    if name is not None and name.endswith("DeprecationWarning"):
+                        return True
+        return False

@@ -1,0 +1,239 @@
+"""Determinism hygiene: canonical modules must be seed-reproducible.
+
+The repo's headline contract — byte-identical answers across engines,
+accelerators, worker counts, and the HTTP service — only holds while
+every canonical module draws randomness from the repo's counter-based
+``Lcg48`` substreams and never lets hash order, wall clocks, or memory
+addresses leak into results.  These rules enforce that statically; the
+scope is the ``canonical`` config patterns (core, geometry, rng,
+parallel, the scene generator) plus any file carrying a
+``# repro: canonical-module`` marker.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker
+from ..findings import Rule
+
+__all__ = [
+    "RandomSourceChecker",
+    "WallClockChecker",
+    "UnorderedIterationChecker",
+    "IdOrderingChecker",
+]
+
+#: Call targets whose results depend on the wall clock or OS entropy.
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+}
+
+#: Builtins that realize their argument's iteration order.
+_ORDER_REALIZERS = {"list", "tuple", "iter", "enumerate"}
+
+
+class RandomSourceChecker(Checker):
+    """det-random: only ``repro.rng`` randomness in canonical modules."""
+
+    rules = (
+        Rule(
+            "det-random",
+            "stdlib random / numpy.random in a canonical module "
+            "(use repro.rng.Lcg48 substreams)",
+            scope="canonical",
+        ),
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Flag ``import random`` / ``import numpy.random`` in canonical scope."""
+        for alias in node.names:
+            top = alias.name.partition(".")[0]
+            if top == "random" or alias.name.startswith("numpy.random"):
+                self.emit(
+                    node,
+                    "det-random",
+                    f"import of {alias.name!r} in a canonical module; "
+                    "draw from the seeded Lcg48 substreams instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Flag ``from random import ...`` and numpy.random equivalents."""
+        module = node.module or ""
+        hit = (
+            module == "random"
+            or module.startswith("random.")
+            or module.startswith("numpy.random")
+            or (module == "numpy" and any(a.name == "random" for a in node.names))
+        )
+        if hit:
+            self.emit(
+                node,
+                "det-random",
+                f"import from {module!r} in a canonical module; "
+                "draw from the seeded Lcg48 substreams instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Flag attribute reads reaching random/numpy.random via aliases."""
+        qual = self.qualname(node)
+        if qual is not None:
+            if qual == "numpy.random" or qual.startswith("numpy.random."):
+                self.emit(
+                    node,
+                    "det-random",
+                    f"use of {qual} in a canonical module; "
+                    "draw from the seeded Lcg48 substreams instead",
+                )
+                return  # one finding per chain, not one per attribute
+            if qual.startswith("random.") and self.ctx.imports.get("random"):
+                self.emit(
+                    node,
+                    "det-random",
+                    f"use of {qual} in a canonical module; "
+                    "draw from the seeded Lcg48 substreams instead",
+                )
+                return
+        self.generic_visit(node)
+
+
+class WallClockChecker(Checker):
+    """det-wallclock: results must not read clocks or OS entropy."""
+
+    rules = (
+        Rule(
+            "det-wallclock",
+            "wall-clock / OS-entropy call in a canonical module",
+            scope="canonical",
+        ),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag wall-clock reads; interval timers (perf_counter) stay legal."""
+        qual = self.qualname(node.func)
+        if qual in _WALLCLOCK_CALLS:
+            self.emit(
+                node,
+                "det-wallclock",
+                f"call to {qual} in a canonical module; results must be "
+                "a pure function of the seed (time.perf_counter is fine "
+                "for timing that never feeds an answer)",
+            )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically certain to evaluate to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return True
+    # Binary set algebra over set expressions (a | b on literals).
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class UnorderedIterationChecker(Checker):
+    """det-unordered-iter: set iteration order must never reach results.
+
+    Set iteration order varies with hash seeding (``PYTHONHASHSEED``),
+    so a loop, comprehension, or order-realizing call (``list``,
+    ``tuple``, ``enumerate``, ``iter``, ``str.join``) over a set
+    expression is flagged; ``sorted(...)`` around the set is the fix
+    and silences the rule by construction.
+    """
+
+    rules = (
+        Rule(
+            "det-unordered-iter",
+            "iteration over a set feeds accumulation/serialization "
+            "(wrap in sorted(...))",
+            scope="canonical",
+        ),
+    )
+
+    _MESSAGE = (
+        "iterating a set here has hash-seed-dependent order; "
+        "wrap the set in sorted(...) before it feeds anything ordered"
+    )
+
+    def visit_For(self, node: ast.For) -> None:
+        """Flag ``for x in <set expression>`` without a sorted() realisation."""
+        if _is_set_expr(node.iter):
+            self.emit(node.iter, "det-unordered-iter", self._MESSAGE)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        """Comprehensions over unordered sources leak iteration order."""
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self.emit(gen.iter, "det-unordered-iter", self._MESSAGE)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag order-realising calls (list/tuple/iter/enumerate, .join) on sets."""
+        realizes = (
+            isinstance(node.func, ast.Name) and node.func.id in _ORDER_REALIZERS
+        ) or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )
+        if realizes and node.args and _is_set_expr(node.args[0]):
+            self.emit(node.args[0], "det-unordered-iter", self._MESSAGE)
+        self.generic_visit(node)
+
+
+class IdOrderingChecker(Checker):
+    """det-id-order: ``id()`` is an address, not a stable sort key."""
+
+    rules = (
+        Rule(
+            "det-id-order",
+            "ordering by id() in a canonical module "
+            "(addresses vary run to run)",
+            scope="canonical",
+        ),
+    )
+
+    _MESSAGE = (
+        "key uses id(): object addresses differ across runs and "
+        "processes; order by a canonical field (e.g. patch id) instead"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag sorted/min/max/.sort keyed on id() — address-order is per-run."""
+        orders = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in {"sorted", "min", "max"}
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+        if orders:
+            for kw in node.keywords:
+                if kw.arg != "key":
+                    continue
+                if isinstance(kw.value, ast.Name) and kw.value.id == "id":
+                    self.emit(node, "det-id-order", self._MESSAGE)
+                elif isinstance(kw.value, ast.Lambda) and any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "id"
+                    for inner in ast.walk(kw.value.body)
+                ):
+                    self.emit(node, "det-id-order", self._MESSAGE)
+        self.generic_visit(node)

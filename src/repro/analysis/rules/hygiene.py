@@ -1,0 +1,81 @@
+"""Lifecycle hygiene: broad exception handlers must not swallow silently.
+
+A ``try``/``except Exception: pass`` around a lifecycle path (segment
+release, stream close, index building) converts a real bug into a
+silent leak.  Broad catches *can* be load-bearing — ``__del__`` during
+interpreter shutdown, cleanup that must never mask the original error
+— but then the code must say so: narrow the exception types, or keep
+the broad catch with a ``# repro: allow[hyg-broad-except]`` pragma and
+the one-line justification next to it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker
+from ..findings import Rule
+
+__all__ = ["BroadExceptChecker"]
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, (ast.Name, ast.Attribute)):
+        names = [handler.type]
+    elif isinstance(handler.type, ast.Tuple):
+        names = list(handler.type.elts)
+    for node in names:
+        ident = (
+            node.id
+            if isinstance(node, ast.Name)
+            else node.attr if isinstance(node, ast.Attribute) else ""
+        )
+        if ident in {"Exception", "BaseException"}:
+            return True
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler observably does nothing with the error."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(stmt, ast.Return):
+            value = stmt.value
+            if value is None or isinstance(
+                value, (ast.Constant, ast.Dict, ast.List, ast.Tuple, ast.Set)
+            ):
+                continue  # bare literal fallback: the swallow idiom
+        return False
+    return True
+
+
+class BroadExceptChecker(Checker):
+    """hyg-broad-except: silent broad catches hide lifecycle bugs."""
+
+    rules = (
+        Rule(
+            "hyg-broad-except",
+            "broad except handler silently swallows the error "
+            "(narrow it, or pragma with a justification)",
+        ),
+    )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        """Flag broad handlers whose body silently swallows the error."""
+        for handler in node.handlers:
+            if _is_broad(handler) and _is_silent(handler.body):
+                self.emit(
+                    handler,
+                    "hyg-broad-except",
+                    "broad except swallows every error here; catch the "
+                    "specific exceptions, or keep it with "
+                    "# repro: allow[hyg-broad-except] and say why the "
+                    "broad catch is load-bearing",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,190 @@
+"""Shared-memory lifecycle pairing: no leaked and no foreign segments.
+
+Two contracts from ARCHITECTURE.md's plane sections:
+
+* every segment allocation (``allocate_segment`` or a raw
+  ``SharedMemory(create=True)``) must have a visible release path —
+  a ``with`` block, a ``try``/``finally``, handing the object to an
+  owner (``SegmentOwner`` subclasses register close/unlink), storing
+  it on ``self``, or returning it to a caller that owns it;
+* attaching by name must go through ``shmplane.attach_segment`` — a
+  raw ``SharedMemory(name=...)`` registers the segment with the
+  attacher's resource tracker, the exact 3.11 lifecycle bug (forked
+  workers' trackers unlinking the parent's live blocks) PR 5 fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..base import Checker
+from ..findings import Rule
+
+__all__ = ["ShmLifecycleChecker", "ShmRawAttachChecker"]
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def _parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_repro_parent", None)
+
+
+def _create_true(node: ast.Call) -> bool:
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in node.keywords
+    )
+
+
+def _is_allocation(node: ast.Call, qual: Optional[str]) -> bool:
+    if qual is None:
+        return False
+    name = qual.rpartition(".")[2]
+    if name == "allocate_segment":
+        return True
+    return name == "SharedMemory" and _create_true(node)
+
+
+def _contains_name(tree_nodes, name: str) -> bool:
+    for stmt in tree_nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+class ShmLifecycleChecker(Checker):
+    """shm-lifecycle: every allocation needs a visible release path."""
+
+    rules = (
+        Rule(
+            "shm-lifecycle",
+            "segment allocated without a close/unlink path "
+            "(with, try/finally, owner object, or return)",
+        ),
+    )
+
+    def run(self):
+        """Two passes: attach parent pointers, then judge each allocation."""
+        _attach_parents(self.ctx.tree)
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag an allocation call with no visible release path."""
+        if _is_allocation(node, self.qualname(node.func)):
+            if not self._protected(node):
+                self.emit(
+                    node,
+                    "shm-lifecycle",
+                    "shared-memory allocation has no visible release "
+                    "path; put it in a with/try-finally, hand it to a "
+                    "SegmentOwner, or return it to an owning caller",
+                )
+        self.generic_visit(node)
+
+    def _protected(self, call: ast.Call) -> bool:
+        # Climb: allocation nested in a return, a with item, or another
+        # call (ownership handed straight to a constructor) is paired.
+        node: ast.AST = call
+        parent = _parent(node)
+        while parent is not None:
+            if isinstance(parent, ast.Return):
+                return True
+            if isinstance(parent, ast.withitem):
+                return True
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                break
+            node, parent = parent, _parent(parent)
+        # Otherwise the result must land in a name that some later
+        # statement releases or hands off.
+        stmt = call
+        while stmt is not None and not isinstance(stmt, ast.Assign):
+            stmt = _parent(stmt)
+        if stmt is None or len(stmt.targets) != 1:
+            return False
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            # self._shm = allocate_segment(...): stored on an owner.
+            return isinstance(target, ast.Attribute)
+        name = target.id
+        scope = stmt
+        while not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            scope = _parent(scope)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Try) and _contains_name(node.finalbody, name):
+                return True
+            if isinstance(node, ast.With) and _contains_name(
+                [item.context_expr for item in node.items], name
+            ):
+                return True
+            if isinstance(node, ast.Return) and node.value is not None and _contains_name(
+                [node.value], name
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and node is not call
+                and _contains_name(node.args + [kw.value for kw in node.keywords], name)
+            ):
+                return True
+            if (
+                isinstance(node, ast.Assign)
+                and node is not stmt
+                and any(isinstance(t, ast.Attribute) for t in node.targets)
+                and _contains_name([node.value], name)
+            ):
+                return True
+        return False
+
+
+class ShmRawAttachChecker(Checker):
+    """shm-raw-attach: attaches must route through attach_segment."""
+
+    rules = (
+        Rule(
+            "shm-raw-attach",
+            "raw SharedMemory(name=...) attach outside attach_segment "
+            "(registers with the wrong resource tracker)",
+        ),
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._function_stack: list[str] = []
+
+    def _visit_function(self, node) -> None:
+        """Track the enclosing function name (attach_segment is exempt)."""
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag SharedMemory attach-by-name outside attach_segment."""
+        qual = self.qualname(node.func)
+        if (
+            qual is not None
+            and qual.rpartition(".")[2] == "SharedMemory"
+            and not _create_true(node)
+            and "attach_segment" not in self._function_stack
+        ):
+            self.emit(
+                node,
+                "shm-raw-attach",
+                "raw SharedMemory attach registers the segment with "
+                "this process's resource tracker (it will unlink the "
+                "owner's live segment at exit); use "
+                "shmplane.attach_segment instead",
+            )
+        self.generic_visit(node)

@@ -128,6 +128,10 @@ class _GuardedStream:
     def __del__(self):  # pragma: no cover — GC timing is interpreter's
         try:
             self.close()
+        # repro: allow[hyg-broad-except] — __del__ may run during
+        # interpreter shutdown with half-torn modules; raising here
+        # prints unkillable "Exception ignored in" noise instead of
+        # anything actionable.
         except Exception:
             pass
 

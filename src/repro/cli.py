@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .analysis.cliargs import add_lint_arguments
 from .api import (
     RenderSession,
     SessionOptions,
@@ -306,11 +307,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-plane", choices=("auto", "on", "off"), default="auto"
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism & lifecycle static-analysis suite",
+        description=(
+            "AST checks for the repo's load-bearing contracts: "
+            "determinism hygiene in canonical modules (det-*), "
+            "shared-memory segment lifecycle pairing (shm-*), blocking "
+            "calls in async code (async-*), and API-surface drift "
+            "(api-*, hyg-*).  Exit 0 = clean, 1 = findings, 2 = usage "
+            "or parse error.  Config lives in [tool.repro.lint] in "
+            "pyproject.toml; suppress single findings with "
+            "'# repro: allow[rule-id]' pragmas or the baseline file."
+        ),
+    )
+    add_lint_arguments(p_lint)
+
     # Usage errors discovered after parsing (config validation) should
     # show the offending subcommand's synopsis, not the root command
     # list — keep a handle on the subparser for the error path.
     parser.simulate_parser = p_sim
     parser.serve_parser = p_serve
+    parser.lint_parser = p_lint
     return parser
 
 
@@ -581,6 +599,24 @@ def _cmd_serve(args, out, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_lint(args, out, parser: argparse.ArgumentParser) -> int:
+    # Lazy import: the analysis engine is pure stdlib, but keeping it
+    # off the hot CLI paths mirrors how `serve` loads its tier.
+    from .analysis.engine import run as run_lint
+
+    return run_lint(
+        args.paths,
+        out=out,
+        fmt=args.format,
+        rules=args.rule or None,
+        extra_exclude=args.exclude,
+        baseline=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_to=args.write_baseline,
+        error=parser.lint_parser.error,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -598,4 +634,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_save_scene(args, out, parser)
     if args.command == "serve":
         return _cmd_serve(args, out, parser)
+    if args.command == "lint":
+        return _cmd_lint(args, out, parser)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -178,7 +178,11 @@ def _position_index(text: str) -> dict[str, int]:
 
     try:
         value(0, "")
-    except Exception:
+    except (IndexError, KeyError, ValueError, RecursionError):
+        # The scanner's actual failure modes: running off the end of a
+        # text whose grammar surprised it, a scanstring rejection, or
+        # blowing the stack on pathologically deep nesting.  All must
+        # degrade to "no line numbers", never crash the error reporter.
         return {}
     return index
 

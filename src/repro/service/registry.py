@@ -246,6 +246,10 @@ class ProgramRegistry:
             if isinstance(entry, asyncio.Task):
                 try:
                     await entry
+                # repro: allow[hyg-broad-except] — settlement-only wait:
+                # the admit's failure (or cancellation, a BaseException)
+                # was already delivered to the requester that started
+                # it; close only needs the task to be finished.
                 except BaseException:
                     pass
         while self._entries:

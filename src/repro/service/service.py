@@ -511,6 +511,9 @@ class RenderService:
             )
         session = await entry.pool.acquire(timeout=remaining)
         try:
+            # repro: allow[async-blocking] — construction is eager
+            # validation + guard binding only (microseconds, no trace);
+            # every stream *step* runs on the executor via _stream_step.
             gen = session.simulate_stream(params.request, params.batch)
         except ValueError as exc:
             await entry.pool.release(session)
@@ -672,6 +675,10 @@ def _close_stream(
         concurrent.futures.wait([pending])
     try:
         gen.close()
+    # repro: allow[hyg-broad-except] — last step of the disconnect
+    # path: a throw out of the generator's release code must not mask
+    # the cancellation being handled (the session guard already
+    # cleared; anything left is unreachable state on a dead stream).
     except Exception:  # pragma: no cover — close must never mask cleanup
         pass
 

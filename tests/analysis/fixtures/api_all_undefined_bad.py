@@ -1,0 +1,5 @@
+__all__ = ["real", "ghost"]
+
+
+def real():
+    return 1

@@ -1,0 +1,7 @@
+__all__ = ["real", "CONSTANT"]
+
+CONSTANT = 42
+
+
+def real():
+    return 1

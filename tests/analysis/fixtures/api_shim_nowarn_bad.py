@@ -1,0 +1,3 @@
+def old_entry():
+    """Deprecated: use new_entry instead."""
+    return 2

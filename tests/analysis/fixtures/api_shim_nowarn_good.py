@@ -1,0 +1,11 @@
+import warnings
+
+
+def old_entry():
+    """Deprecated: use new_entry instead."""
+    warnings.warn(
+        "old_entry() is deprecated; call new_entry()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return 2

@@ -1,0 +1,6 @@
+import time
+
+
+async def handler(session, request):
+    time.sleep(0.1)
+    return session.simulate(request)

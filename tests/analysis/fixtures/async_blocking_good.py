@@ -1,0 +1,12 @@
+import asyncio
+
+
+async def handler(loop, session, request):
+    await asyncio.sleep(0.1)
+
+    def run():
+        # Blocking work belongs on an executor thread: the nested sync
+        # closure is the sanctioned idiom (service/service.py).
+        return session.simulate(request)
+
+    return await loop.run_in_executor(None, run)

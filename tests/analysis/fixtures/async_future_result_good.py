@@ -1,0 +1,2 @@
+async def settle(fut):
+    return await fut

@@ -1,0 +1,3 @@
+# repro: canonical-module
+def order(patches):
+    return sorted(patches, key=id)

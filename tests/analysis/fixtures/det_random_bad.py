@@ -1,0 +1,12 @@
+# repro: canonical-module
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    return [random.uniform(0.0, 1.0) for _ in range(n)]
+
+
+def noise(n):
+    return np.random.default_rng(0).random(n)

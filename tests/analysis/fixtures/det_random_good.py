@@ -1,0 +1,7 @@
+# repro: canonical-module
+from repro.rng import Lcg48
+
+
+def jitter(n, seed):
+    rng = Lcg48(seed)
+    return [rng.uniform() for _ in range(n)]

@@ -1,0 +1,6 @@
+# repro: canonical-module
+def tally(events):
+    out = []
+    for event in sorted(set(events)):
+        out.append(event)
+    return out

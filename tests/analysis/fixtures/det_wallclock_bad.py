@@ -1,0 +1,11 @@
+# repro: canonical-module
+import os
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def entropy():
+    return os.urandom(8)

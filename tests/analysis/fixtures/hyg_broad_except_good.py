@@ -1,0 +1,6 @@
+def surface(work):
+    try:
+        return work()
+    except ValueError:
+        # Narrow catch: only the failure mode this path expects.
+        return {}

@@ -1,0 +1,6 @@
+from repro.parallel.shmplane import allocate_segment
+
+
+def leak(nbytes):
+    shm = allocate_segment(nbytes)
+    shm.buf[0] = 1

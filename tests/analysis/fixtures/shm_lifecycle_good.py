@@ -1,0 +1,10 @@
+from repro.parallel.shmplane import allocate_segment
+
+
+def paired(nbytes):
+    shm = allocate_segment(nbytes)
+    try:
+        shm.buf[0] = 1
+    finally:
+        shm.close()
+        shm.unlink()

@@ -1,0 +1,5 @@
+from multiprocessing import shared_memory
+
+
+def attach(name):
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,5 @@
+from repro.parallel.shmplane import attach_segment
+
+
+def attach(name):
+    return attach_segment(name)

@@ -467,3 +467,100 @@ class TestTraceCommand:
     def test_unknown_platform(self):
         with pytest.raises(KeyError):
             main(["trace", "cornell-box", "--platform", "cray"], out=io.StringIO())
+
+
+class TestLintCommand:
+    """`repro lint` exit-code contract: 0 clean / 1 findings / 2 usage."""
+
+    FIXTURES = "tests/analysis/fixtures"
+
+    def fixture(self, name):
+        from pathlib import Path
+
+        return str(Path(__file__).parent / "analysis" / "fixtures" / name)
+
+    def test_good_fixture_exits_zero(self):
+        out = io.StringIO()
+        rc = main(["lint", self.fixture("hyg_broad_except_good.py")], out=out)
+        assert rc == 0
+        assert "0 finding(s), 1 file(s)" in out.getvalue()
+
+    def test_bad_fixture_exits_one_with_finding_line(self):
+        import re
+
+        out = io.StringIO()
+        rc = main(["lint", self.fixture("hyg_broad_except_bad.py")], out=out)
+        assert rc == 1
+        # The contract format tools and humans grep for: path:line: rule msg
+        assert re.search(
+            r"hyg_broad_except_bad\.py:4: hyg-broad-except .+swallows",
+            out.getvalue(),
+        )
+
+    def test_unknown_rule_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["lint", "--rule", "no-such-rule", self.fixture("hyg_broad_except_bad.py")],
+                out=io.StringIO(),
+            )
+        assert exc.value.code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", str(broken)], out=io.StringIO())
+        assert exc.value.code == 2
+        assert "parse-error" in capsys.readouterr().err
+
+    def test_rule_filter_silences_other_rules(self):
+        out = io.StringIO()
+        rc = main(
+            ["lint", "--rule", "det-random", self.fixture("hyg_broad_except_bad.py")],
+            out=out,
+        )
+        assert rc == 0
+
+    def test_exclude_filters_tree(self, tmp_path):
+        keep = tmp_path / "keep"
+        skip = tmp_path / "skip"
+        keep.mkdir()
+        skip.mkdir()
+        (keep / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        (skip / "bad.py").write_text(
+            "def f(w):\n"
+            "    try:\n"
+            "        return w()\n"
+            "    except Exception:\n"
+            "        return None\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        rc = main(["lint", "--exclude", "skip", str(tmp_path)], out=out)
+        assert rc == 0
+        assert "1 file(s)" in out.getvalue()
+
+    def test_json_format_parses(self):
+        import json
+
+        out = io.StringIO()
+        rc = main(
+            ["lint", "--format", "json", self.fixture("shm_lifecycle_bad.py")],
+            out=out,
+        )
+        assert rc == 1
+        doc = json.loads(out.getvalue())
+        assert [f["rule"] for f in doc["findings"]] == ["shm-lifecycle"]
+        assert doc["checked_files"] == 1
+
+    def test_module_entry_point_matches_cli(self):
+        from repro.analysis import main as analysis_main
+
+        out_cli = io.StringIO()
+        out_mod = io.StringIO()
+        target = self.fixture("async_blocking_bad.py")
+        assert main(["lint", target], out=out_cli) == analysis_main(
+            [target], out=out_mod
+        )
+        assert out_cli.getvalue() == out_mod.getvalue()

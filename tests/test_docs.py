@@ -111,6 +111,14 @@ class TestReadmeQuickstartExecutes:
                 continue
             if argv[0] == "serve":
                 continue  # blocks until signalled; executed below
+            if argv[0] == "lint":
+                # The documented paths are repo-relative; this test runs
+                # from tmp_path, so anchor them (root discovery walks up
+                # from the first path and finds the repo pyproject).
+                argv = [argv[0]] + [
+                    a if a.startswith("-") else str(REPO_ROOT / a)
+                    for a in argv[1:]
+                ]
             if "--photons" in argv:
                 argv[argv.index("--photons") + 1] = TINY_PHOTONS
             if "--workers" in argv:
@@ -240,3 +248,33 @@ class TestExamplesExecute:
             f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
             f"\n--- stderr ---\n{proc.stderr[-2000:]}"
         )
+
+
+class TestDocsPythonBlocksLint:
+    """Fenced ```python blocks in the docs pass the repo's own linter.
+
+    The blocks show API usage; if one of them trips a lint rule, the
+    docs are teaching the pattern the linter exists to forbid.
+    """
+
+    @staticmethod
+    def python_blocks(path: Path) -> list[tuple[int, str]]:
+        text = path.read_text(encoding="utf-8")
+        blocks = []
+        for m in re.finditer(r"```python\n(.*?)```", text, re.S):
+            line = text[: m.start()].count("\n") + 2
+            blocks.append((line, m.group(1)))
+        return blocks
+
+    @pytest.mark.parametrize("doc", [p.name for p in DOC_FILES])
+    def test_blocks_lint_clean(self, doc):
+        from repro.analysis import lint_source
+
+        path = next(p for p in DOC_FILES if p.name == doc)
+        for line, block in self.python_blocks(path):
+            findings = lint_source(block, path=f"{doc}:{line}")
+            assert findings == [], [f.render() for f in findings]
+
+    def test_readme_has_python_blocks(self):
+        # The extraction regex is only trusted if it finds something.
+        assert self.python_blocks(REPO_ROOT / "README.md")
