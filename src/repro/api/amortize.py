@@ -1,0 +1,242 @@
+"""Cross-request amortization caches: exact reuse of traced photons.
+
+The per-photon counter-based LCG substreams
+(:func:`repro.core.vectorized.photon_substream`) make photon *i*'s
+trajectory independent of every other photon, so the events of photons
+``[0, n)`` are a strict prefix of the events of ``[0, m)`` for any
+``m > n``.  Canonical tally replay is order-insensitive to chunking
+(the stream-parity contract), which turns that prefix property into an
+*exact* serving optimisation: a request for ``m`` photons can deep-copy
+a cached ``n``-photon forest and trace only ``[n, m)`` — byte-identical
+to a cold full-budget run, never an approximation.
+
+Two caches implement the idea, both owned by the
+:class:`~repro.api.SceneProgram` (the compile-once object every session
+on a scene shares) so all sessions in a service
+:class:`~repro.service.pool.SessionPool` share hits:
+
+* :class:`ForestCache` — built forests keyed by the **camera- and
+  budget-free trace key** (engine, resolved RNG discipline, split
+  policy, fluorescence, seed).  The key deliberately excludes the
+  accelerator and worker count: answers are accel/worker-invariant
+  (the golden matrix pins this), so a forest traced by one session
+  shape tops up a request served by another.
+* :class:`ResultCache` — the promotion of the old per-session
+  ``cache_results`` memo: whole :class:`SimulationResult` objects keyed
+  by the frozen :class:`~repro.api.SimulateRequest`, one shared cache
+  per (program, options) pair.  Per-session opt-out is unchanged —
+  ``SessionOptions(cache_results=False)`` simply never consults it.
+
+Both caches are thread-safe bounded LRUs: sessions in a pool serve on
+concurrent executor threads, and a long-lived serving process must not
+accumulate every forest it ever traced.  Amortization counters (exact
+hits, top-ups, camera-only hits, photons saved, early stops) live here
+too and surface through the service ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..core.bintree import BinForest
+    from ..core.simulator import SimulationConfig, SimulationResult, TraceStats
+    from .requests import SimulateRequest
+
+__all__ = [
+    "DEFAULT_FOREST_CACHE_ENTRIES",
+    "CachedTrace",
+    "ForestCache",
+    "ResultCache",
+    "trace_key",
+]
+
+#: Forest-cache entry bound.  Forests are the dominant per-answer
+#: memory cost, so the bound is deliberately small: one entry per
+#: distinct (engine, rng, policy, fluorescence, seed) trace family a
+#: warm process is actively serving.
+DEFAULT_FOREST_CACHE_ENTRIES = 8
+
+
+def trace_key(config: "SimulationConfig") -> tuple:
+    """The camera- and budget-free identity of a photon trace.
+
+    Everything that changes *which events exist* is in the key; the
+    photon budget (a prefix length, not an identity) and every
+    provisioning knob that is byte-invariant by contract (accelerator,
+    worker count, batch size, transport) is excluded.
+    """
+    return (
+        config.engine,
+        config.resolved_rng_mode,
+        config.policy,
+        config.fluorescence,
+        config.seed,
+    )
+
+
+class CachedTrace:
+    """An immutable-by-convention cached trace: the ``n``-photon forest.
+
+    The forest object is shared with the :class:`SimulationResult` it
+    was served in; consumers must deep-copy before extending it (the
+    top-up path does), never mutate it in place.
+    """
+
+    __slots__ = ("n", "forest", "stats")
+
+    def __init__(self, n: int, forest: "BinForest", stats: "TraceStats") -> None:
+        self.n = n
+        self.forest = forest
+        self.stats = stats
+
+
+class ForestCache:
+    """Thread-safe bounded LRU of built forests, keyed by trace key.
+
+    Each key holds the **largest** forest traced for it so far — a
+    smaller run is a prefix of a larger one, so keeping the largest
+    maximises what later requests can reuse.  ``lookup`` returns the
+    entry only when it can seed the request (``entry.n <= n``); a
+    forest cannot be truncated, so an oversized entry is a miss.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_FOREST_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CachedTrace]" = OrderedDict()
+        # Amortization counters (the /stats payload).
+        self.exact_hits = 0
+        self.topups = 0
+        self.camera_only_hits = 0
+        self.photons_saved = 0
+        self.early_stops = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple, n: int) -> Optional[CachedTrace]:
+        """The reusable entry for *key*, or ``None``.
+
+        Reusable means ``entry.n <= n``: the cached forest is the exact
+        answer prefix a request for *n* photons starts from (equal
+        ``n`` — zero tracing left).  A hit refreshes LRU recency.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.n > n:
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def store(
+        self, key: tuple, n: int, forest: "BinForest", stats: "TraceStats"
+    ) -> None:
+        """Record the *n*-photon forest for *key* if it grows the entry.
+
+        Only monotonically growing budgets are kept (a smaller forest
+        adds nothing a prefix copy of the larger one would not), and
+        empty traces are never stored.
+        """
+        if n <= 0:
+            return
+        with self._lock:
+            current = self._entries.get(key)
+            if current is not None and current.n >= n:
+                return
+            self._entries[key] = CachedTrace(n, forest, stats)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # -- counters ----------------------------------------------------------
+
+    def record_serve(
+        self, reused_photons: int, traced_photons: int, early_stop: bool
+    ) -> None:
+        """Book one amortized serve's counters."""
+        with self._lock:
+            if reused_photons > 0:
+                self.photons_saved += reused_photons
+                if traced_photons > 0:
+                    self.topups += 1
+                else:
+                    self.exact_hits += 1
+            if early_stop:
+                self.early_stops += 1
+
+    def record_camera_only(self) -> None:
+        """Book one camera-only serve (render of a fully cached trace)."""
+        with self._lock:
+            self.camera_only_hits += 1
+
+    def snapshot(self) -> dict:
+        """Counters + occupancy (one scene's ``/stats`` stanza)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "exact_hits": self.exact_hits,
+                "topups": self.topups,
+                "camera_only_hits": self.camera_only_hits,
+                "photons_saved": self.photons_saved,
+                "early_stops": self.early_stops,
+            }
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of whole results, keyed by request.
+
+    The program-level promotion of the per-session ``cache_results``
+    memo: every session opened with the same options on one program
+    shares this cache, so a repeated request hits no matter which
+    pooled session serves it.  Determinism makes the memo sound —
+    re-tracing an equal request could only reproduce equal bytes.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[SimulateRequest, SimulationResult]"
+        self._entries = OrderedDict()
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        """Cached requests, least- to most-recently used (tests peek)."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    def get(self, request: "SimulateRequest") -> Optional["SimulationResult"]:
+        """The cached result for ``request`` (refreshed), else None."""
+        with self._lock:
+            result = self._entries.get(request)
+            if result is not None:
+                self._entries.move_to_end(request)
+                self.hits += 1
+            return result
+
+    def put(self, request: "SimulateRequest", result: "SimulationResult") -> None:
+        """Cache ``result`` for ``request``, evicting the LRU past bound."""
+        with self._lock:
+            self._entries[request] = result
+            self._entries.move_to_end(request)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        """Occupancy and hit counters, read under the lock."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+            }

@@ -75,6 +75,15 @@ class SimulateRequest:
             disables it.
         rng_mode: ``"stream"`` | ``"substream"`` | ``"auto"`` (resolved
             against the session's engine, exactly as the legacy config).
+        target_rel_error: Optional convergence target.  When set, the
+            session traces in batches and stops as soon as
+            :func:`repro.core.convergence.forest_error_summary` reports
+            a median per-bin relative error at or below the target —
+            the answer is then the **exact** canonical answer for the
+            photons actually traced (a prefix of the budget, never an
+            approximation), with ``n_photons`` on the result's config
+            recording the traced count and
+            ``result.achieved_rel_error`` the error reached.
     """
 
     n_photons: int
@@ -82,6 +91,7 @@ class SimulateRequest:
     policy: SplitPolicy = field(default_factory=SplitPolicy)
     fluorescence: Optional["FluorescenceSpec"] = None
     rng_mode: str = "auto"
+    target_rel_error: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_photons < 0:
@@ -89,6 +99,12 @@ class SimulateRequest:
         if self.rng_mode not in RNG_MODES:
             raise ValueError(
                 f"unknown rng_mode {self.rng_mode!r}; pick from {RNG_MODES}"
+            )
+        if self.target_rel_error is not None and not (
+            self.target_rel_error > 0
+        ):
+            raise ValueError(
+                f"target_rel_error must be positive, got {self.target_rel_error}"
             )
 
 
@@ -132,6 +148,22 @@ class SessionOptions:
             a cache hit refreshes the entry — and an evicted request
             simply re-traces, which determinism guarantees reproduces
             identical bytes, so the bound can never change an answer.
+            The memo lives on the session's
+            :class:`~repro.api.SceneProgram` (one shared cache per
+            program + options pair), so every session a service pool
+            opens on one scene shares hits; this flag is the
+            per-session opt-in/opt-out.
+        amortize: Enable the program-level
+            :class:`~repro.api.amortize.ForestCache`: a request whose
+            camera-free trace key (engine, RNG discipline, policy,
+            fluorescence, seed) matches a cached smaller run deep-copies
+            the cached forest and traces only the missing photon range —
+            byte-identical to a cold full-budget run, because per-photon
+            substreams make photons independent of history.  Only
+            requests whose RNG resolves to ``"substream"`` amortize;
+            the serial ``"stream"`` discipline traces cold as ever.
+            Off by default (a plain session's repeat timings stay
+            honest); the serving tier turns it on.
     """
 
     engine: str = "vector"
@@ -141,6 +173,7 @@ class SessionOptions:
     share_plane: str = "auto"
     result_plane: str = "auto"
     cache_results: Union[bool, int] = False
+    amortize: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -165,6 +198,10 @@ class SessionOptions:
             raise ValueError(
                 "workers > 1 requires the vector engine (the scalar loop "
                 "would silently ignore the pool); pass engine='vector'"
+            )
+        if not isinstance(self.amortize, bool):
+            raise ValueError(
+                f"amortize must be a bool, got {self.amortize!r}"
             )
         if not isinstance(self.cache_results, bool):
             if not isinstance(self.cache_results, int):

@@ -52,13 +52,15 @@ session, across threads — or check sessions out of a
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import threading
-from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
 import numpy as np
 
 from ..core.bintree import BinForest
+from ..core.convergence import forest_error_summary
 from ..core.simulator import (
     SimulationConfig,
     SimulationResult,
@@ -67,6 +69,7 @@ from ..core.simulator import (
     _scalar_trace_one,
 )
 from ..geometry.scene import Scene
+from .amortize import trace_key
 from .program import SceneProgram
 from .requests import SessionOptions, SimulateRequest, merge_config
 
@@ -190,11 +193,23 @@ class RenderSession:
         # thread raises instead of corrupting warm engine state.
         self._guard = threading.Lock()
         self._active_request: Optional[str] = None
-        # SimulateRequest -> SimulationResult LRU, active only when
-        # options.result_cache_entries > 0; insertion order *is*
-        # recency order (hits re-insert), evictions pop the front.
-        # Dies with the session.
-        self._result_cache: "OrderedDict" = OrderedDict()
+        # Program-shared amortization caches (repro.api.amortize).
+        # Both are owned by the SceneProgram — they outlive this
+        # session, so every session a pool opens on the program shares
+        # hits — and both are per-session opt-in via the options.
+        self._result_cache = (
+            self.program.result_cache_for(self.options)
+            if self.options.result_cache_entries
+            else None
+        )
+        self._forest_cache = (
+            self.program.forest_cache() if self.options.amortize else None
+        )
+        #: Photons actually traced by the most recent :meth:`simulate`
+        #: (0 on a cache hit; the delta on a top-up).  ``None`` before
+        #: the first request.  :meth:`render_view` reads it to count
+        #: camera-only serves.
+        self.last_photons_traced: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -215,7 +230,6 @@ class RenderSession:
             return
         self._closed = True
         self._engines.clear()
-        self._result_cache.clear()
         try:
             if self._pool is not None:
                 self._pool.close()
@@ -331,36 +345,184 @@ class RenderSession:
         this) returns the **identical** answer object without
         re-tracing; determinism makes the memoization sound, since
         re-tracing an equal request could only reproduce equal bytes.
-        The memo is a bounded LRU (``options.result_cache_entries``):
-        a hit refreshes the entry, an insert past the bound evicts the
-        least recently used one, and an evicted request re-traces to
-        the same bytes it was first served with.
+        The memo is a bounded LRU (``options.result_cache_entries``)
+        shared program-wide: every session opened with the same options
+        on this session's :class:`SceneProgram` hits the same cache.
+
+        Under ``SessionOptions(amortize=True)`` a request whose trace
+        key matches a cached smaller run (any budget, any accel/worker
+        shape) deep-copies the cached forest and traces only the
+        missing photon range — byte-identical to a cold run, per the
+        substream prefix property (see :mod:`repro.api.amortize`).
+
+        Under ``request.target_rel_error`` the trace proceeds in
+        ``options.batch_size`` chunks and stops early once the forest's
+        median per-bin relative error reaches the target; the answer is
+        the exact canonical answer for the photons actually traced.
         """
         self._check_open()
         self._begin_request("simulate()")
         try:
-            cache_bound = self.options.result_cache_entries
-            if cache_bound:
+            if self._result_cache is not None:
                 cached = self._result_cache.get(request)
                 if cached is not None:
-                    self._result_cache.move_to_end(request)
+                    self.last_photons_traced = 0
                     self.requests_served += 1
                     return cached
             config = merge_config(request, self.options)
+            result = self._compute(request, config)
+            if self._result_cache is not None:
+                self._result_cache.put(request, result)
+            self.requests_served += 1
+            return result
+        finally:
+            self._end_request()
+
+    def _compute(
+        self, request: SimulateRequest, config: SimulationConfig
+    ) -> SimulationResult:
+        """Serve a result-cache miss: cold, amortized, or early-stopped.
+
+        The classic full-budget paths are untouched when neither
+        amortization nor a convergence target is in play — the warm
+        one-shot benchmarks time exactly what they always timed.
+        """
+        amortize = (
+            self._forest_cache is not None
+            and config.resolved_rng_mode == "substream"
+        )
+        if not amortize and request.target_rel_error is None:
             if config.engine == "scalar":
                 result = self._simulate_scalar(config)
             elif config.workers > 1:
                 result = self._pool_for(request.fluorescence, config).run(config)
             else:
                 result = self._engine_for(request.fluorescence).run(config)
-            if cache_bound:
-                self._result_cache[request] = result
-                while len(self._result_cache) > cache_bound:
-                    self._result_cache.popitem(last=False)
-            self.requests_served += 1
+            self.last_photons_traced = config.n_photons
             return result
-        finally:
-            self._end_request()
+        return self._simulate_incremental(request, config, amortize)
+
+    def _simulate_incremental(
+        self,
+        request: SimulateRequest,
+        config: SimulationConfig,
+        amortize: bool,
+    ) -> SimulationResult:
+        """Chunked tracing over an optional cached prefix.
+
+        Exactness argument: per-photon substreams make photon *i*'s
+        events independent of every other photon, and canonical tally
+        replay over contiguous ascending chunks is chunking-invariant
+        (the stream-parity contract) — so extending a deep copy of the
+        cached ``[0, n)`` forest with the events of ``[n, m)`` replays
+        the identical global tally sequence a cold ``[0, m)`` run
+        replays, byte for byte, whatever engine/accel/worker shape
+        traced either half.
+        """
+        target = request.target_rel_error
+        key = trace_key(config)
+        entry = (
+            self._forest_cache.lookup(key, config.n_photons)
+            if amortize
+            else None
+        )
+        if entry is not None:
+            forest = copy.deepcopy(entry.forest)
+            stats = dataclasses.replace(entry.stats)
+            done = entry.n
+        else:
+            forest = BinForest(config.policy)
+            stats = TraceStats()
+            done = 0
+        reused = done
+        trace = self._chunk_tracer(request, config)
+        chunk = self.options.batch_size
+        stopped_early = False
+        while done < config.n_photons:
+            if target is not None and done > 0:
+                summary = forest_error_summary(forest)
+                if summary.median_relative_error <= target:
+                    stopped_early = True
+                    break
+            todo = min(chunk, config.n_photons - done)
+            trace(forest, stats, done, todo)
+            done += todo
+        achieved = (
+            forest_error_summary(forest).median_relative_error
+            if target is not None
+            else None
+        )
+        if amortize:
+            self._forest_cache.store(key, done, forest, stats)
+            self._forest_cache.record_serve(
+                reused, done - reused, stopped_early
+            )
+        self.last_photons_traced = done - reused
+        result_config = (
+            config
+            if done == config.n_photons
+            else dataclasses.replace(config, n_photons=done)
+        )
+        return SimulationResult(
+            forest,
+            stats,
+            result_config,
+            self.scene.name,
+            photons_requested=(
+                config.n_photons if target is not None else None
+            ),
+            achieved_rel_error=achieved,
+        )
+
+    def _chunk_tracer(self, request: SimulateRequest, config: SimulationConfig):
+        """A ``trace(forest, stats, start, count)`` closure for *config*.
+
+        Every variant traces the absolute photon range
+        ``[start, start + count)`` into the growing forest — the same
+        building blocks :meth:`simulate_stream` chains, so the chunked
+        answer is pinned byte-identical to the one-shot one by the
+        stream-parity suite.
+        """
+        if config.engine == "scalar":
+            if config.resolved_rng_mode == "substream":
+                from ..core.vectorized import photon_substream
+
+                def trace(forest, stats, start, count):
+                    for i in range(start, start + count):
+                        _scalar_trace_one(
+                            self.scene,
+                            config,
+                            forest,
+                            stats,
+                            photon_substream(config.seed, i),
+                        )
+
+            else:
+                # Serial-stream scalar: never cached (history-dependent),
+                # but early stop still applies — chunks are contiguous
+                # from zero, so the prefix is the exact N-photon answer.
+                streams = _scalar_photon_streams(config)
+
+                def trace(forest, stats, start, count):
+                    for _ in range(count):
+                        _scalar_trace_one(
+                            self.scene, config, forest, stats, next(streams)
+                        )
+
+            return trace
+        from ..core.vectorized import tally_block
+
+        if config.workers > 1:
+            source = self._pool_for(request.fluorescence, config).trace_range
+        else:
+            source = self._engine_for(request.fluorescence).trace_range
+
+        def trace(forest, stats, start, count):
+            block, chunk_stats = source(config.seed, start, count)
+            stats.merge(chunk_stats)
+            tally_block(forest, block, count)
+
+        return trace
 
     def simulate_stream(
         self, request: SimulateRequest, batch_size: Optional[int] = None
@@ -378,7 +540,11 @@ class RenderSession:
 
         Validation happens at the call, not at first iteration, and the
         request counts as served when the stream starts (a consumer may
-        stop early on convergence — an advertised use).
+        stop early on convergence — an advertised use).  When
+        ``request.target_rel_error`` is set the session does that
+        convergence check itself: the stream ends after the first chunk
+        whose forest meets the target, and — as with every early stop —
+        that final yield is the exact answer for the photons traced.
         """
         self._check_open()
         chunk = batch_size if batch_size is not None else self.options.batch_size
@@ -399,10 +565,38 @@ class RenderSession:
                 inner = self._stream_scalar(config, chunk)
             else:
                 inner = self._stream_vector(request, config, chunk)
+            if request.target_rel_error is not None and config.n_photons:
+                inner = _early_stop_stream(
+                    inner, request.target_rel_error, self._forest_cache
+                )
         except BaseException:
             self._end_request()
             raise
         return _GuardedStream(self, inner)
+
+    def render_view(
+        self,
+        request: SimulateRequest,
+        camera=None,
+        *,
+        width: int = 160,
+        height: int = 120,
+    ) -> np.ndarray:
+        """Simulate (or reuse) *request*'s answer and render it.
+
+        The camera-only fast path as a first-class serve: with
+        ``SessionOptions(amortize=True)`` a request that differs from a
+        cached one **only in camera** re-renders the cached forest
+        without tracing a single photon (the trace key is camera-free),
+        and the forest cache books it as a camera-only hit.  Arguments
+        mirror :meth:`render`.
+        """
+        image_source = self.simulate(request)
+        traced = self.last_photons_traced
+        image = self.render(image_source, camera, width=width, height=height)
+        if traced == 0 and self._forest_cache is not None:
+            self._forest_cache.record_camera_only()
+        return image
 
     def render(
         self,
@@ -517,6 +711,25 @@ class RenderSession:
             tally_block(forest, block, todo)
             done += todo
             yield SimulationResult(forest, stats, config, self.scene.name)
+
+
+def _early_stop_stream(
+    inner: Iterator[SimulationResult], target: float, forest_cache
+) -> Iterator[SimulationResult]:
+    """End a cumulative stream once the forest meets *target*.
+
+    The check runs after each yield, so the consumer always receives
+    the chunk that crossed the threshold; because every cumulative
+    yield is the exact answer for the photons traced so far, the
+    truncated stream's final yield is an exact prefix answer.
+    """
+    for result in inner:
+        yield result
+        summary = forest_error_summary(result.forest)
+        if summary.median_relative_error <= target:
+            if forest_cache is not None:
+                forest_cache.record_serve(0, 0, True)
+            return
 
 
 def open_session(

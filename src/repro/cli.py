@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import math
 import sys
 import time
 from pathlib import Path
@@ -151,6 +152,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="photons per vector batch",
+    )
+    p_sim.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        metavar="REL",
+        help=(
+            "convergence target: stop tracing once the forest's median "
+            "per-bin relative error reaches REL; the answer file is the "
+            "exact canonical answer for the photons actually traced (a "
+            "prefix of --photons, never an approximation)"
+        ),
+    )
+    p_sim.add_argument(
+        "--amortize",
+        action="store_true",
+        help=(
+            "enable the program-level forest cache: with --repeat, "
+            "repeated requests reuse already-traced photons exactly "
+            "(byte-identical answers) and a final `saved:` line reports "
+            "the photons the cache avoided retracing"
+        ),
     )
     p_sim.add_argument(
         "--repeat",
@@ -306,6 +329,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--result-plane", choices=("auto", "on", "off"), default="auto"
     )
+    p_serve.add_argument(
+        "--amortize",
+        choices=("on", "off"),
+        default="on",
+        help=(
+            "cross-request amortization: cache traced forests per scene "
+            "so a larger-budget request tops up a cached smaller run "
+            "(byte-identical to a cold trace) and camera-only renders "
+            "skip tracing entirely (default: on)"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache-results",
+        choices=("on", "off"),
+        default="on",
+        help=(
+            "memoize whole answers keyed by request, shared across the "
+            "scene's session pool (default: on)"
+        ),
+    )
 
     p_lint = sub.add_parser(
         "lint",
@@ -383,6 +426,7 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
             seed=args.seed,
             policy=SplitPolicy(threshold=args.sigma),
             rng_mode=args.rng,
+            target_rel_error=args.target_error,
         )
         options = SessionOptions(
             engine=args.engine,
@@ -391,6 +435,7 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
             batch_size=args.batch_size,
             share_plane=args.share_plane,
             result_plane=args.result_plane,
+            amortize=args.amortize,
         )
         # Cross-field validation (vector forbids stream RNG, ...) lives
         # in the merged config; run it before provisioning anything.
@@ -441,11 +486,34 @@ def _cmd_simulate(args, out, parser: argparse.ArgumentParser) -> int:
                 f"{warm_photons / max(warm_seconds, 1e-9):,.0f}/s warm)",
                 file=out,
             )
+        if args.amortize:
+            amort = session.program.amortize_stats()
+            if amort["photons_saved"] > 0:
+                print(
+                    f"saved: {amort['photons_saved']:,} photons reused from "
+                    f"the forest cache ({amort['exact_hits']} exact hits, "
+                    f"{amort['topups']} top-ups)",
+                    file=out,
+                )
+    if result.early_stopped:
+        achieved = result.achieved_rel_error
+        label = (
+            f"{achieved:.4g}"
+            if achieved is not None and math.isfinite(achieved)
+            else "inf"
+        )
+        print(
+            f"early stop: target {args.target_error:g} reached after "
+            f"{result.config.n_photons:,} of {args.photons:,} photons "
+            f"(achieved {label})",
+            file=out,
+        )
     result.forest.check_invariants()
     save_answer(result.forest, args.out)
+    photons_done = result.config.n_photons
     print(
-        f"{args.photons:,} photons in {dt:.1f}s "
-        f"({args.photons / max(dt, 1e-9):,.0f}/s, {engine_label}); "
+        f"{photons_done:,} photons in {dt:.1f}s "
+        f"({photons_done / max(dt, 1e-9):,.0f}/s, {engine_label}); "
         f"{result.forest.leaf_count:,} bins; "
         f"answer -> {args.out}",
         file=out,
@@ -573,6 +641,8 @@ def _cmd_serve(args, out, parser: argparse.ArgumentParser) -> int:
             batch_size=args.batch_size,
             share_plane=args.share_plane,
             result_plane=args.result_plane,
+            amortize=args.amortize == "on",
+            cache_results=args.cache_results == "on",
         )
         config = ServiceConfig(
             scenes=tuple(args.scene),

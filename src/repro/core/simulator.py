@@ -284,17 +284,37 @@ def trace_photon(
 
 @dataclass
 class SimulationResult:
-    """Output of a simulation run: the answer forest plus run counters."""
+    """Output of a simulation run: the answer forest plus run counters.
+
+    ``config.n_photons`` always equals the photons actually traced.
+    Under a convergence target
+    (:attr:`repro.api.SimulateRequest.target_rel_error`) that may be
+    fewer than requested: the answer is then the exact canonical answer
+    for the traced prefix, with :attr:`photons_requested` recording the
+    original budget and :attr:`achieved_rel_error` the median per-bin
+    relative error the run reached (set whenever a target was given,
+    early-stopped or not).
+    """
 
     forest: BinForest
     stats: TraceStats
     config: SimulationConfig
     scene_name: str
+    photons_requested: Optional[int] = None
+    achieved_rel_error: Optional[float] = None
 
     @property
     def view_dependent_polygons(self) -> int:
         """Table 5.1's second column: total bins in the answer."""
         return self.forest.leaf_count
+
+    @property
+    def early_stopped(self) -> bool:
+        """True when a convergence target ended the trace under budget."""
+        return (
+            self.photons_requested is not None
+            and self.config.n_photons < self.photons_requested
+        )
 
 
 def _scalar_photon_streams(config: SimulationConfig) -> Iterator[Lcg48]:

@@ -1,13 +1,14 @@
 """Imaging: tone mapping, PPM I/O, quality metrics."""
 
 from .metrics import mean_absolute_error, psnr, relative_luminance_error, rmse
-from .ppm import read_ppm, save_radiance_ppm, write_ppm
+from .ppm import ppm_bytes, read_ppm, save_radiance_ppm, write_ppm
 from .tonemap import exposure_scale, gamma_encode, reinhard, to_uint8
 
 __all__ = [
     "exposure_scale",
     "gamma_encode",
     "mean_absolute_error",
+    "ppm_bytes",
     "psnr",
     "read_ppm",
     "reinhard",

@@ -8,11 +8,11 @@ import numpy as np
 
 from .tonemap import to_uint8
 
-__all__ = ["write_ppm", "read_ppm", "save_radiance_ppm"]
+__all__ = ["ppm_bytes", "write_ppm", "read_ppm", "save_radiance_ppm"]
 
 
-def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
-    """Write an (H, W, 3) uint8 array as binary PPM.
+def ppm_bytes(pixels: np.ndarray) -> bytes:
+    """An (H, W, 3) uint8 array as binary PPM (P6) bytes.
 
     Raises:
         ValueError: on wrong shape or dtype.
@@ -23,9 +23,17 @@ def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
     if arr.dtype != np.uint8:
         raise ValueError(f"expected uint8 pixels, got {arr.dtype}")
     h, w = arr.shape[:2]
+    return f"P6\n{w} {h}\n255\n".encode("ascii") + arr.tobytes()
+
+
+def write_ppm(pixels: np.ndarray, path: str | Path) -> None:
+    """Write an (H, W, 3) uint8 array as binary PPM.
+
+    Raises:
+        ValueError: on wrong shape or dtype.
+    """
     with open(path, "wb") as fh:
-        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
-        fh.write(arr.tobytes())
+        fh.write(ppm_bytes(pixels))
 
 
 def read_ppm(path: str | Path) -> np.ndarray:

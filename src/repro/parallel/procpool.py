@@ -422,6 +422,11 @@ class PhotonPool:
         #: boundary; the transport benchmarks read it.
         self.last_shard_results: list[ShardResult] = []
         self.last_result_wire_bytes = 0
+        #: Warm traces that recycled the existing result blocks instead
+        #: of allocating a segment — the amortized serving tier's
+        #: top-up ranges land here, so the counter is how benchmarks
+        #: show repeated small ranges stay allocation-free.
+        self.result_block_reuses = 0
 
     def start(self) -> "PhotonPool":
         """Publish the plane (if selected) and fork the workers."""
@@ -572,6 +577,7 @@ class PhotonPool:
         blocks = self.config.workers
         if self.result_blocks is not None:
             if self.result_blocks.fits(blocks, capacity):
+                self.result_block_reuses += 1
                 return self.result_blocks
             old, self.result_blocks = self.result_blocks, None
             old.close()

@@ -83,6 +83,7 @@ class ResidentProgram:
             "patches": self.program.patch_count,
             "nbytes": self.nbytes,
             "pool": self.pool.stats(),
+            "amortize": self.program.amortize_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover — debugging aid

@@ -19,9 +19,14 @@ Endpoints:
   NDJSON stream of per-batch progress lines over the session's
   cumulative :meth:`~repro.api.RenderSession.simulate_stream`, whose
   **final line** is the same canonical answer document.
+* ``POST /scenes/{spec}/render`` — the viewing stage as a serve: body
+  may add ``eye``, ``look_at``, ``fov``, ``width``, ``height`` camera
+  overrides; the response is a binary PPM (P6) image.  With
+  amortization on, a render whose trace is already cached re-renders
+  without tracing a photon (the camera-only fast path).
 * ``GET /healthz`` — liveness.
 * ``GET /stats`` — resident programs, pool occupancy and queue depths,
-  hit/miss/eviction and admission counters.
+  hit/miss/eviction, admission, and amortization counters.
 
 Blocking session work (tracing, canonical serialisation) runs on a
 dedicated thread-pool executor; the event loop only ever does parsing,
@@ -32,8 +37,13 @@ admission, and chunk shuttling.  Request bodies are JSON objects::
 
 all fields optional (defaults mirror the ``repro simulate`` CLI), with
 ``batch`` (stream chunk size) and ``deadline`` (seconds, admission +
-service) being service-level extras.  Unknown fields are rejected —
-the same strictness the scene schema applies.
+service) being service-level extras.  ``target_error`` (body field or
+``?target_error=`` query parameter, query winning) enables
+convergence-driven early stop: the answer is the exact canonical
+answer for the photons actually traced, with ``X-Repro-Photons-Traced``
+and ``X-Repro-Achieved-Error`` response headers reporting the stop.
+Unknown fields are rejected — the same strictness the scene schema
+applies.
 """
 
 from __future__ import annotations
@@ -68,7 +78,13 @@ DEFAULT_DEADLINE_SECONDS = 30.0
 
 #: Body fields a simulate request may carry (strict, like the scene schema).
 _REQUEST_FIELDS = frozenset(
-    {"photons", "seed", "sigma", "rng", "deadline", "batch"}
+    {"photons", "seed", "sigma", "rng", "deadline", "batch", "target_error"}
+)
+
+#: Body fields a render request may carry: the simulate fields (minus
+#: the stream-only ``batch``) plus the camera overrides.
+_RENDER_FIELDS = (_REQUEST_FIELDS - {"batch"}) | frozenset(
+    {"eye", "look_at", "fov", "width", "height"}
 )
 
 #: Sentinel returned by the executor-side stream step on exhaustion.
@@ -180,6 +196,7 @@ class RenderService:
         # Traffic counters (/stats).
         self.served_oneshot = 0
         self.served_stream = 0
+        self.served_render = 0
         self.rejected_deadline = 0
         self.cancelled_streams = 0
         self.bad_requests = 0
@@ -402,27 +419,37 @@ class RenderService:
             await writer.drain()
             return
         spec = _simulate_spec(path)
-        if spec is None:
-            self.not_found += 1
-            writer.write(
-                http.json_response(
-                    404,
-                    {"error": {"code": "no-such-route",
-                               "message": f"no route for {path!r}"}},
-                )
+        if spec is not None:
+            if request.method != "POST":
+                raise _method_not_allowed(request.method, path)
+            params = self._parse_simulate(request.json_body(), request.query)
+            stream = request.query.get("stream", "0").lower() in (
+                "1", "true", "yes",
             )
-            await writer.drain()
+            if stream:
+                await self._serve_stream(spec, params, writer)
+            else:
+                await self._serve_oneshot(spec, params, writer)
             return
-        if request.method != "POST":
-            raise _method_not_allowed(request.method, path)
-        params = self._parse_simulate(request.json_body())
-        stream = request.query.get("stream", "0").lower() in ("1", "true", "yes")
-        if stream:
-            await self._serve_stream(spec, params, writer)
-        else:
-            await self._serve_oneshot(spec, params, writer)
+        spec = _render_spec(path)
+        if spec is not None:
+            if request.method != "POST":
+                raise _method_not_allowed(request.method, path)
+            await self._serve_render(spec, request.json_body(), writer)
+            return
+        self.not_found += 1
+        writer.write(
+            http.json_response(
+                404,
+                {"error": {"code": "no-such-route",
+                           "message": f"no route for {path!r}"}},
+            )
+        )
+        await writer.drain()
 
-    def _parse_simulate(self, body: dict) -> _SimulateParams:
+    def _parse_simulate(
+        self, body: dict, query: Optional[dict] = None
+    ) -> _SimulateParams:
         unknown = set(body) - _REQUEST_FIELDS
         if unknown:
             raise BadRequest(
@@ -437,6 +464,12 @@ class RenderService:
             deadline = float(body.get("deadline", self.config.default_deadline))
             batch = body.get("batch")
             batch = int(batch) if batch is not None else None
+            # The query parameter wins over the body field, so a caller
+            # can retarget a canned request body from the URL alone.
+            target: object = body.get("target_error")
+            if query is not None and "target_error" in query:
+                target = query["target_error"]
+            target = float(target) if target is not None else None
         except (TypeError, ValueError) as exc:
             raise BadRequest(f"bad request field: {exc}") from None
         if deadline <= 0:
@@ -449,6 +482,7 @@ class RenderService:
                 seed=seed,
                 policy=SplitPolicy(threshold=sigma),
                 rng_mode=rng,
+                target_rel_error=target,
             )
         except ValueError as exc:
             raise BadRequest(str(exc)) from None
@@ -476,9 +510,21 @@ class RenderService:
                 f"deadline of {params.deadline:.3f}s elapsed during admission"
             )
 
-        def run() -> bytes:
+        def run() -> tuple[bytes, tuple]:
             result = session.simulate(params.request)
-            return canonical_answer_bytes(result)
+            # Early-stop serves surface the traced prefix out-of-band:
+            # the body stays the pure canonical answer document (still
+            # byte-comparable with a CLI answer file for the traced
+            # count), the stop is reported in response headers.
+            headers: tuple = ()
+            if result.early_stopped:
+                headers = (
+                    ("X-Repro-Photons-Traced", str(result.config.n_photons)),
+                )
+                achieved = result.achieved_rel_error
+                if achieved is not None and math.isfinite(achieved):
+                    headers += (("X-Repro-Achieved-Error", f"{achieved:.6g}"),)
+            return canonical_answer_bytes(result), headers
 
         fut = self._loop.run_in_executor(self._executor, run)
         # The session goes back to the pool when the trace really ends,
@@ -488,15 +534,116 @@ class RenderService:
             lambda _f: self._spawn_release(entry.pool, session)
         )
         try:
-            body = await asyncio.wait_for(asyncio.shield(fut), remaining)
+            body, headers = await asyncio.wait_for(
+                asyncio.shield(fut), remaining
+            )
         except asyncio.TimeoutError:
             raise DeadlineExceeded(
                 f"request exceeded its {params.deadline:.3f}s deadline "
                 f"({params.request.n_photons} photons on {spec!r})"
             ) from None
-        writer.write(http.response_bytes(200, body))
+        writer.write(http.response_bytes(200, body, extra_headers=headers))
         await writer.drain()
         self.served_oneshot += 1
+
+    def _parse_render(self, body: dict) -> tuple[_SimulateParams, dict]:
+        """Split a render body into simulate params + camera overrides."""
+        unknown = set(body) - _RENDER_FIELDS
+        if unknown:
+            raise BadRequest(
+                f"unknown render fields {sorted(unknown)}; "
+                f"valid: {sorted(_RENDER_FIELDS)}"
+            )
+        sim_body = {k: v for k, v in body.items() if k in _REQUEST_FIELDS}
+        # Render defaults favour interactivity: a viewing request should
+        # not implicitly trace the full 20k-photon simulate default.
+        sim_body.setdefault("photons", 2_000)
+        params = self._parse_simulate(sim_body)
+        camera: dict = {}
+        try:
+            for point in ("eye", "look_at"):
+                value = body.get(point)
+                if value is not None:
+                    x, y, z = (float(c) for c in value)
+                    camera[point] = (x, y, z)
+            if body.get("fov") is not None:
+                camera["fov"] = float(body["fov"])
+            camera["width"] = int(body.get("width", 160))
+            camera["height"] = int(body.get("height", 120))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad camera field: {exc}") from None
+        if not (1 <= camera["width"] <= 4096 and 1 <= camera["height"] <= 4096):
+            raise BadRequest(
+                f"width/height must be in [1, 4096], got "
+                f"{camera['width']}x{camera['height']}"
+            )
+        if camera.get("fov") is not None and not (0 < camera["fov"] < 180):
+            raise BadRequest(f"fov must be in (0, 180), got {camera['fov']}")
+        return params, camera
+
+    async def _serve_render(
+        self, spec: str, body: dict, writer
+    ) -> None:
+        """POST /scenes/{spec}/render — simulate (or reuse) + render."""
+        assert self._loop is not None and self._executor is not None
+        params, camera_spec = self._parse_render(body)
+        t0 = self._loop.time()
+        entry = await self._resident(spec)
+        remaining = params.deadline - (self._loop.time() - t0)
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {params.deadline:.3f}s elapsed during admission"
+            )
+        session = await entry.pool.acquire(timeout=remaining)
+        remaining = params.deadline - (self._loop.time() - t0)
+        if remaining <= 0:
+            await entry.pool.release(session)
+            self._track_draining(entry.pool)
+            raise DeadlineExceeded(
+                f"deadline of {params.deadline:.3f}s elapsed during admission"
+            )
+
+        def run() -> bytes:
+            from ..core.viewing import Camera
+            from ..geometry import Vec3
+            from ..image.ppm import ppm_bytes
+            from ..image.tonemap import to_uint8
+
+            defaults = session.program.default_camera
+            eye = camera_spec.get("eye")
+            look = camera_spec.get("look_at")
+            fov = camera_spec.get("fov")
+            camera = Camera(
+                position=Vec3(*eye) if eye else defaults["position"],
+                look_at=Vec3(*look) if look else defaults["look_at"],
+                vertical_fov_degrees=(
+                    fov if fov is not None
+                    else defaults.get("vertical_fov_degrees", 55.0)
+                ),
+                width=camera_spec["width"],
+                height=camera_spec["height"],
+            )
+            image = session.render_view(params.request, camera)
+            return ppm_bytes(to_uint8(image, key=0.4))
+
+        fut = self._loop.run_in_executor(self._executor, run)
+        fut.add_done_callback(
+            lambda _f: self._spawn_release(entry.pool, session)
+        )
+        try:
+            ppm = await asyncio.wait_for(asyncio.shield(fut), remaining)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                f"render exceeded its {params.deadline:.3f}s deadline "
+                f"({params.request.n_photons} photons on {spec!r})"
+            ) from None
+        writer.write(
+            http.response_bytes(
+                200, ppm, content_type="image/x-portable-pixmap"
+            )
+        )
+        await writer.drain()
+        self.served_render += 1
 
     async def _serve_stream(
         self, spec: str, params: _SimulateParams, writer
@@ -602,13 +749,22 @@ class RenderService:
             entry.spec: entry.stats()
             for entry in self._registry.resident_entries()
         }
+        amortize_keys = (
+            "exact_hits", "topups", "camera_only_hits", "photons_saved",
+            "early_stops",
+        )
         return {
             "status": "ok",
             "programs": self._registry.stats(),
             "scenes": scenes,
+            "amortize": {
+                key: sum(s["amortize"][key] for s in scenes.values())
+                for key in amortize_keys
+            },
             "requests": {
                 "served_oneshot": self.served_oneshot,
                 "served_stream": self.served_stream,
+                "served_render": self.served_render,
                 "rejected_queue_full": sum(
                     s["pool"]["rejected_queue_full"] for s in scenes.values()
                 ),
@@ -632,6 +788,15 @@ def _simulate_spec(path: str) -> Optional[str]:
     route is matched by prefix and suffix, not by segment count.
     """
     prefix, suffix = "/scenes/", "/simulate"
+    if not (path.startswith(prefix) and path.endswith(suffix)):
+        return None
+    spec = path[len(prefix):-len(suffix)]
+    return spec or None
+
+
+def _render_spec(path: str) -> Optional[str]:
+    """Extract the scene spec from ``/scenes/<spec>/render`` paths."""
+    prefix, suffix = "/scenes/", "/render"
     if not (path.startswith(prefix) and path.endswith(suffix)):
         return None
     spec = path[len(prefix):-len(suffix)]

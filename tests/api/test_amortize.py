@@ -1,0 +1,332 @@
+"""Cross-request amortization: exactness is the whole point.
+
+The forest cache may only ever *save work*, never change an answer:
+a topped-up serve must be byte-identical to a cold full-budget run on
+every engine/accel/worker shape, a camera-only render must reuse the
+trace without touching it, and an early-stopped answer must be the
+exact canonical answer for the photons actually traced.  These tests
+pin each of those contracts plus the cache mechanics (bounds,
+monotonic growth, counter bookkeeping) behind them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    RenderSession,
+    SceneProgram,
+    SessionOptions,
+    SimulateRequest,
+)
+from repro.api.amortize import CachedTrace, ForestCache, trace_key
+from repro.api.requests import merge_config
+from repro.core import forest_to_dict
+from repro.core.bintree import SplitPolicy
+from repro.parallel.shmplane import plane_available
+from tests.scenehelpers import build_mini_scene
+
+needs_plane = pytest.mark.skipif(
+    not plane_available(), reason="no multiprocessing.shared_memory here"
+)
+
+AMORTIZE = SessionOptions(amortize=True)
+
+
+def forest_bytes(result) -> str:
+    return json.dumps(forest_to_dict(result.forest), sort_keys=True)
+
+
+class TestTraceKey:
+    """The key splits trace identity from provisioning and budget."""
+
+    def test_camera_budget_accel_worker_free(self):
+        base = merge_config(SimulateRequest(n_photons=100), SessionOptions())
+        for request, options in (
+            (SimulateRequest(n_photons=9999), SessionOptions()),
+            (SimulateRequest(n_photons=100), SessionOptions(accel="linear")),
+            (SimulateRequest(n_photons=100), SessionOptions(workers=3)),
+            (SimulateRequest(n_photons=100), SessionOptions(batch_size=7)),
+        ):
+            other = merge_config(request, options)
+            assert trace_key(other) == trace_key(base)
+
+    def test_identity_fields_split_the_key(self):
+        base = merge_config(SimulateRequest(n_photons=100), SessionOptions())
+        for request, options in (
+            (SimulateRequest(n_photons=100, seed=7), SessionOptions()),
+            (
+                SimulateRequest(
+                    n_photons=100, policy=SplitPolicy(threshold=9.0)
+                ),
+                SessionOptions(),
+            ),
+            (SimulateRequest(n_photons=100), SessionOptions(engine="scalar")),
+            (
+                SimulateRequest(n_photons=100, rng_mode="stream"),
+                SessionOptions(engine="scalar"),
+            ),
+        ):
+            other = merge_config(request, options)
+            assert trace_key(other) != trace_key(base)
+
+
+class TestForestCacheMechanics:
+    def test_lookup_only_returns_reusable_prefixes(self):
+        cache = ForestCache()
+        cache.store(("k",), 200, "forest", "stats")
+        assert cache.lookup(("k",), 500).n == 200  # smaller seeds larger
+        assert cache.lookup(("k",), 200).n == 200  # equal: exact hit
+        assert cache.lookup(("k",), 100) is None  # cannot truncate
+        assert cache.lookup(("other",), 500) is None
+
+    def test_store_keeps_only_growth(self):
+        cache = ForestCache()
+        cache.store(("k",), 200, "big", "s1")
+        cache.store(("k",), 100, "small", "s2")  # ignored: shrinks
+        cache.store(("k",), 0, "none", "s3")  # ignored: empty
+        assert cache.lookup(("k",), 200).forest == "big"
+        cache.store(("k",), 300, "bigger", "s4")
+        assert cache.lookup(("k",), 300).forest == "bigger"
+
+    def test_bounded_lru_eviction(self):
+        cache = ForestCache(max_entries=2)
+        cache.store(("a",), 1, "fa", "s")
+        cache.store(("b",), 1, "fb", "s")
+        assert cache.lookup(("a",), 9) is not None  # refresh a
+        cache.store(("c",), 1, "fc", "s")  # b is LRU now
+        assert cache.lookup(("b",), 9) is None
+        assert cache.lookup(("a",), 9) is not None
+        assert cache.lookup(("c",), 9) is not None
+
+    def test_counters(self):
+        cache = ForestCache()
+        cache.record_serve(100, 50, False)  # top-up
+        cache.record_serve(150, 0, False)  # exact hit
+        cache.record_serve(0, 80, True)  # cold early stop
+        cache.record_camera_only()
+        snap = cache.snapshot()
+        assert snap["topups"] == 1
+        assert snap["exact_hits"] == 1
+        assert snap["photons_saved"] == 250
+        assert snap["early_stops"] == 1
+        assert snap["camera_only_hits"] == 1
+
+    def test_entry_is_shared_not_copied(self):
+        trace = CachedTrace(5, "forest", "stats")
+        assert (trace.n, trace.forest, trace.stats) == (5, "forest", "stats")
+
+
+# The exactness matrix: every session shape the golden suite pins must
+# serve a topped-up answer byte-identical to its own cold run.
+MATRIX = [
+    pytest.param(SessionOptions(engine="scalar", amortize=True),
+                 "substream", id="scalar-substream"),
+    pytest.param(SessionOptions(accel="flat", amortize=True),
+                 "auto", id="vector-flat"),
+    pytest.param(SessionOptions(accel="octree", amortize=True),
+                 "auto", id="vector-octree"),
+    pytest.param(SessionOptions(accel="linear", amortize=True),
+                 "auto", id="vector-linear"),
+    pytest.param(SessionOptions(workers=2, accel="flat", amortize=True),
+                 "auto", id="vector-flat-x2", marks=needs_plane),
+    pytest.param(SessionOptions(workers=3, accel="octree", amortize=True,
+                                batch_size=64),
+                 "auto", id="vector-octree-x3", marks=needs_plane),
+]
+
+
+class TestTopUpExactness:
+    @pytest.mark.parametrize("options, rng", MATRIX)
+    def test_topped_up_bytes_equal_cold_bytes(self, options, rng):
+        import dataclasses
+
+        cold_options = dataclasses.replace(options, amortize=False)
+        with RenderSession(build_mini_scene(), cold_options) as session:
+            cold = session.simulate(
+                SimulateRequest(n_photons=240, rng_mode=rng)
+            )
+        with RenderSession(build_mini_scene(), options) as session:
+            session.simulate(SimulateRequest(n_photons=96, rng_mode=rng))
+            assert session.last_photons_traced == 96
+            topped = session.simulate(
+                SimulateRequest(n_photons=240, rng_mode=rng)
+            )
+            # The tentpole claim: only the missing range was traced...
+            assert session.last_photons_traced == 144
+        # ...and the answer is still byte-for-byte the cold answer.
+        assert forest_bytes(topped) == forest_bytes(cold)
+
+    def test_topup_crosses_accels_and_workers(self):
+        """The trace key is provisioning-free: a forest traced by one
+        session shape tops up a request served by another."""
+        scene = build_mini_scene()
+        with RenderSession(
+            scene, SessionOptions(accel="linear", amortize=True)
+        ) as session:
+            session.simulate(SimulateRequest(n_photons=96))
+        with RenderSession(
+            scene, SessionOptions(accel="octree", amortize=True)
+        ) as session:
+            topped = session.simulate(SimulateRequest(n_photons=240))
+            assert session.last_photons_traced == 144
+        with RenderSession(build_mini_scene()) as session:
+            cold = session.simulate(SimulateRequest(n_photons=240))
+        assert forest_bytes(topped) == forest_bytes(cold)
+
+    def test_exact_hit_traces_nothing(self):
+        scene = build_mini_scene()
+        with RenderSession(scene, AMORTIZE) as session:
+            first = session.simulate(SimulateRequest(n_photons=200))
+            again = session.simulate(SimulateRequest(n_photons=200))
+            assert session.last_photons_traced == 0
+            assert forest_bytes(again) == forest_bytes(first)
+        stats = SceneProgram.compile(scene).amortize_stats()
+        assert stats["exact_hits"] == 1
+        assert stats["photons_saved"] == 200
+
+    def test_smaller_budget_is_a_miss_not_a_truncation(self):
+        """A cached larger forest cannot serve a smaller budget — a
+        forest has no subtraction, so the request traces cold."""
+        with RenderSession(build_mini_scene(), AMORTIZE) as session:
+            session.simulate(SimulateRequest(n_photons=240))
+            small = session.simulate(SimulateRequest(n_photons=96))
+            assert session.last_photons_traced == 96
+        with RenderSession(build_mini_scene()) as session:
+            cold = session.simulate(SimulateRequest(n_photons=96))
+        assert forest_bytes(small) == forest_bytes(cold)
+
+    def test_stored_forest_survives_later_topups(self):
+        """Top-ups deepcopy before extending: the forest a smaller
+        result still holds must not grow behind its back."""
+        with RenderSession(build_mini_scene(), AMORTIZE) as session:
+            small = session.simulate(SimulateRequest(n_photons=96))
+            session.simulate(SimulateRequest(n_photons=240))
+            assert small.forest.photons_emitted == 96
+
+    def test_serial_stream_rng_never_amortizes(self):
+        """The stream discipline is history-dependent: photon i's path
+        depends on photons 0..i-1, so prefix reuse would change bytes.
+        The cache simply refuses to play."""
+        with RenderSession(
+            build_mini_scene(),
+            SessionOptions(engine="scalar", amortize=True),
+        ) as session:
+            session.simulate(SimulateRequest(n_photons=96, rng_mode="stream"))
+            session.simulate(SimulateRequest(n_photons=240, rng_mode="stream"))
+            assert session.last_photons_traced == 240  # cold, not 144
+
+
+class TestEarlyStop:
+    def test_early_stopped_answer_is_an_exact_prefix(self):
+        with RenderSession(
+            build_mini_scene(), SessionOptions(batch_size=64)
+        ) as session:
+            stopped = session.simulate(
+                SimulateRequest(n_photons=100_000, target_rel_error=0.5)
+            )
+            assert stopped.early_stopped
+            assert stopped.photons_requested == 100_000
+            traced = stopped.config.n_photons
+            assert 0 < traced < 100_000
+            assert traced % 64 == 0  # stops on chunk boundaries
+            assert stopped.achieved_rel_error is not None
+            assert stopped.achieved_rel_error <= 0.5
+            # The canonical answer for the traced count, exactly.
+            plain = session.simulate(SimulateRequest(n_photons=traced))
+            assert forest_bytes(plain) == forest_bytes(stopped)
+
+    def test_unreachable_target_runs_the_full_budget(self):
+        with RenderSession(build_mini_scene()) as session:
+            result = session.simulate(
+                SimulateRequest(n_photons=300, target_rel_error=1e-9)
+            )
+            assert not result.early_stopped
+            assert result.config.n_photons == 300
+            assert result.photons_requested == 300
+            # achieved is still reported (the caller asked to measure).
+            assert result.achieved_rel_error is not None
+
+    def test_converged_cache_entry_serves_without_tracing(self):
+        """An amortized session whose cached forest already meets the
+        target answers from the cache with zero new photons."""
+        with RenderSession(
+            build_mini_scene(),
+            SessionOptions(batch_size=64, amortize=True),
+        ) as session:
+            warm = session.simulate(SimulateRequest(n_photons=4096))
+            summary_target = 0.5  # mini scene converges well before 4096
+            stopped = session.simulate(
+                SimulateRequest(
+                    n_photons=100_000, target_rel_error=summary_target
+                )
+            )
+            assert stopped.early_stopped
+            assert session.last_photons_traced == 0
+            assert stopped.config.n_photons == 4096
+            assert forest_bytes(stopped) == forest_bytes(warm)
+
+    def test_early_stop_streams_stop_streaming(self):
+        with RenderSession(build_mini_scene()) as session:
+            chunks = list(
+                session.simulate_stream(
+                    SimulateRequest(n_photons=100_000, target_rel_error=0.5),
+                    batch_size=64,
+                )
+            )
+            assert chunks[-1].forest.photons_emitted < 100_000
+            # Each yield is cumulative; the stream ended at convergence,
+            # not at the budget.
+            assert len(chunks) < 100_000 // 64
+
+    def test_scalar_stream_rng_early_stop_still_exact(self):
+        """Early stop composes with the serial RNG too — a contiguous
+        prefix of one stream is exactly the shorter run."""
+        with RenderSession(
+            build_mini_scene(),
+            SessionOptions(engine="scalar", batch_size=64),
+        ) as session:
+            stopped = session.simulate(
+                SimulateRequest(
+                    n_photons=100_000, rng_mode="stream", target_rel_error=0.5
+                )
+            )
+            assert stopped.early_stopped
+            traced = stopped.config.n_photons
+            plain = session.simulate(
+                SimulateRequest(n_photons=traced, rng_mode="stream")
+            )
+            assert forest_bytes(plain) == forest_bytes(stopped)
+
+
+class TestCameraOnlyFastPath:
+    def test_repeat_render_traces_nothing_and_matches(self):
+        import numpy as np
+
+        scene = build_mini_scene()
+        request = SimulateRequest(n_photons=300)
+        with RenderSession(scene, AMORTIZE) as session:
+            first = session.render_view(request, width=24, height=18)
+            assert session.last_photons_traced == 300
+            # A different camera, same trace: the fast path re-renders
+            # the cached forest without tracing a photon.
+            again = session.render_view(request, width=32, height=24)
+            assert session.last_photons_traced == 0
+            reference = session.render(
+                session.simulate(request), width=32, height=24
+            )
+            assert np.array_equal(again, reference)
+            assert first.shape == (18, 24, 3)
+        stats = SceneProgram.compile(scene).amortize_stats()
+        assert stats["camera_only_hits"] >= 1
+
+    def test_cold_render_is_not_booked_as_camera_only(self):
+        scene = build_mini_scene()
+        with RenderSession(scene, AMORTIZE) as session:
+            session.render_view(SimulateRequest(n_photons=200))
+        assert (
+            SceneProgram.compile(scene).amortize_stats()["camera_only_hits"]
+            == 0
+        )

@@ -209,12 +209,29 @@ class TestResultMemoization:
             assert again is not first  # same bytes, new answer object
             assert forest_bytes(again) == forest_bytes(first)
 
-    def test_cache_dies_with_the_session(self, mini_scene):
+    def test_cache_lives_on_the_program(self):
+        """The memo is program-owned: it survives the session that
+        filled it, and a second session with equal options shares it."""
+        from tests.scenehelpers import build_mini_scene
+
+        scene = build_mini_scene()
         options = SessionOptions(cache_results=True)
         request = SimulateRequest(n_photons=100)
-        with RenderSession(mini_scene, options) as session:
-            session.simulate(request)
-        assert session._result_cache == {}
+        with RenderSession(scene, options) as session:
+            first = session.simulate(request)
+            shared = session._result_cache
+        with RenderSession(scene, options) as second:
+            assert second._result_cache is shared
+            assert second.simulate(request) is first
+
+    def test_distinct_options_get_distinct_caches(self):
+        from tests.scenehelpers import build_mini_scene
+
+        scene = build_mini_scene()
+        with RenderSession(scene, SessionOptions(cache_results=2)) as a, (
+            RenderSession(scene, SessionOptions(cache_results=3))
+        ) as b:
+            assert a._result_cache is not b._result_cache
 
 
 class TestResultCacheBound:
@@ -235,24 +252,28 @@ class TestResultCacheBound:
         with pytest.raises(ValueError, match="cache_results"):
             SessionOptions(cache_results=bad)
 
-    def test_insertion_past_bound_evicts_oldest(self, mini_scene):
+    def test_insertion_past_bound_evicts_oldest(self):
+        from tests.scenehelpers import build_mini_scene
+
         options = SessionOptions(cache_results=2)
         a = SimulateRequest(n_photons=100)
         b = SimulateRequest(n_photons=100, seed=2)
         c = SimulateRequest(n_photons=100, seed=3)
-        with RenderSession(mini_scene, options) as session:
+        with RenderSession(build_mini_scene(), options) as session:
             session.simulate(a)
             session.simulate(b)
             session.simulate(c)  # bound is 2: a falls out
             assert list(session._result_cache) == [b, c]
 
-    def test_hit_refreshes_recency(self, mini_scene):
+    def test_hit_refreshes_recency(self):
         """LRU, not FIFO: a hit moves the entry to the young end."""
+        from tests.scenehelpers import build_mini_scene
+
         options = SessionOptions(cache_results=2)
         a = SimulateRequest(n_photons=100)
         b = SimulateRequest(n_photons=100, seed=2)
         c = SimulateRequest(n_photons=100, seed=3)
-        with RenderSession(mini_scene, options) as session:
+        with RenderSession(build_mini_scene(), options) as session:
             first_a = session.simulate(a)
             session.simulate(b)
             assert session.simulate(a) is first_a  # refresh a
@@ -260,11 +281,13 @@ class TestResultCacheBound:
             assert list(session._result_cache) == [a, c]
             assert session.simulate(a) is first_a  # still cached
 
-    def test_evicted_request_retraces_to_identical_bytes(self, mini_scene):
+    def test_evicted_request_retraces_to_identical_bytes(self):
+        from tests.scenehelpers import build_mini_scene
+
         options = SessionOptions(cache_results=1)
         evicted = SimulateRequest(n_photons=150)
         other = SimulateRequest(n_photons=150, seed=9)
-        with RenderSession(mini_scene, options) as session:
+        with RenderSession(build_mini_scene(), options) as session:
             first = session.simulate(evicted)
             session.simulate(other)  # bound 1: `evicted` falls out
             again = session.simulate(evicted)

@@ -68,6 +68,42 @@ class TestForestSummary:
         assert errs[1] < errs[0]
 
 
+class TestSummaryEdgeCases:
+    """The inputs the early-stop loop hands the summary in corners."""
+
+    def test_empty_forest_never_converges(self):
+        """A forest with no trees reports all-inf errors — the signal
+        the early-stop check relies on to never stop before tracing."""
+        from repro.core.bintree import BinForest
+
+        summary = forest_error_summary(BinForest(SplitPolicy()))
+        assert summary.leaves == 0
+        assert summary.occupied_leaves == 0
+        assert summary.mean_relative_error == math.inf
+        assert summary.median_relative_error == math.inf
+        assert summary.worst_relative_error == math.inf
+
+    def test_zero_photon_total_rejected(self, mini_scene):
+        """An occupied forest with an explicit zero total is a caller
+        bug, not a degenerate summary: it raises, never divides."""
+        res = PhotonSimulator(
+            mini_scene, SimulationConfig(n_photons=200)
+        ).run()
+        with pytest.raises(ValueError, match="total_photons"):
+            forest_error_summary(res.forest, total_photons=0)
+        with pytest.raises(ValueError, match="total_photons"):
+            bin_relative_error(leaf_with(5), -3)
+
+    def test_unoccupied_leaves_ignore_the_total(self):
+        """No occupied leaf -> all-inf summary even for a bogus total
+        (the occupancy check short-circuits the per-leaf division)."""
+        from repro.core.bintree import BinForest
+
+        summary = forest_error_summary(BinForest(SplitPolicy()), 0)
+        assert summary.occupied_leaves == 0
+        assert summary.median_relative_error == math.inf
+
+
 class TestDecayExponent:
     def test_perfect_half_power(self):
         ns = [100, 400, 1600, 6400]
@@ -81,6 +117,33 @@ class TestDecayExponent:
             decay_exponent([1, 2], [0.0, 1.0])
         with pytest.raises(ValueError):
             decay_exponent([2, 2], [1.0, 2.0])
+
+    def test_fewer_than_two_points(self):
+        """Empty and mismatched inputs fail the same <2-points gate."""
+        with pytest.raises(ValueError, match="at least 2"):
+            decay_exponent([], [])
+        with pytest.raises(ValueError, match="at least 2"):
+            decay_exponent([100, 400], [0.5])
+
+    def test_single_budget_study_rejected(self):
+        """ConvergenceStudy.run with one budget cannot fit a slope:
+        the underlying <2-points validation surfaces unchanged."""
+        from repro.core.convergence import ConvergenceStudy
+
+        study = ConvergenceStudy(
+            probe=lambda n: 1.0 / math.sqrt(n), reference_budget=10_000
+        )
+        with pytest.raises(ValueError, match="at least 2"):
+            study.run([400])
+
+    def test_zero_probe_error_rejected(self):
+        """A probe the budget cannot move produces zero error — the
+        study refuses (log of zero) instead of returning -inf."""
+        from repro.core.convergence import ConvergenceStudy
+
+        study = ConvergenceStudy(probe=lambda n: 42.0, reference_budget=1000)
+        with pytest.raises(ValueError, match="zero probe error"):
+            study.run([100, 400])
 
     def test_monte_carlo_radiance_decay(self, mini_scene):
         """Radiance probe error decays with exponent near -1/2: the

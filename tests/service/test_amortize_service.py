@@ -1,0 +1,181 @@
+"""Amortized serving over real HTTP: top-ups, early stop, renders.
+
+The service-level face of the forest cache: a warm service serves a
+larger budget by tracing only the missing range (bytes still identical
+to a cold CLI answer), ``target_error`` early-stops with the traced
+prefix reported in response headers, ``/scenes/<spec>/render`` returns
+deterministic PPM bytes and books camera-only hits, and ``/stats``
+exposes the amortization counters that prove any of it happened.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import SessionOptions
+from repro.parallel.shmplane import leaked_segments
+from repro.service import ServiceConfig, ServiceThread, simulate_path
+
+from tests.service.test_service import reference_bytes
+
+
+@pytest.fixture(scope="module")
+def amortized():
+    config = ServiceConfig(
+        scenes=("cornell-box",),
+        port=0,
+        options=SessionOptions(amortize=True, cache_results=True),
+    )
+    with ServiceThread(config) as thread:
+        yield thread
+    assert leaked_segments() == []
+
+
+def service_stats(service) -> dict:
+    status, _, body = service.request("GET", "/stats")
+    assert status == 200
+    return json.loads(body)
+
+
+class TestServedTopUps:
+    def test_larger_budget_tops_up_and_matches_cold_bytes(
+        self, amortized, tmp_path
+    ):
+        status, _, _ = amortized.request(
+            "POST", simulate_path("cornell-box"), {"photons": 96}
+        )
+        assert status == 200
+        before = service_stats(amortized)["amortize"]
+        status, _, body = amortized.request(
+            "POST", simulate_path("cornell-box"), {"photons": 240}
+        )
+        assert status == 200
+        assert body == reference_bytes("cornell-box", 240, tmp_path)
+        after = service_stats(amortized)["amortize"]
+        assert after["topups"] == before["topups"] + 1
+        assert after["photons_saved"] >= before["photons_saved"] + 96
+
+    def test_repeated_request_is_an_exact_hit(self, amortized):
+        request = {"photons": 130, "seed": 99}
+        amortized.request("POST", simulate_path("cornell-box"), request)
+        before = service_stats(amortized)["amortize"]
+        status, _, _ = amortized.request(
+            "POST", simulate_path("cornell-box"), request
+        )
+        assert status == 200
+        after = service_stats(amortized)["amortize"]
+        assert after["exact_hits"] == before["exact_hits"] + 1
+
+    def test_stats_shape(self, amortized):
+        stats = service_stats(amortized)
+        assert set(stats["amortize"]) == {
+            "exact_hits", "topups", "camera_only_hits", "photons_saved",
+            "early_stops",
+        }
+        scene = stats["scenes"]["cornell-box"]["amortize"]
+        assert scene["forest_entries"] >= 1
+        assert "served_render" in stats["requests"]
+
+
+class TestTargetError:
+    def test_body_field_early_stops_with_headers(self, amortized, tmp_path):
+        status, headers, body = amortized.request(
+            "POST",
+            simulate_path("cornell-box"),
+            {"photons": 400_000, "target_error": 0.5},
+        )
+        assert status == 200
+        traced = int(headers["x-repro-photons-traced"])
+        assert 0 < traced < 400_000
+        assert float(headers["x-repro-achieved-error"]) <= 0.5
+        # The early-stopped body is the exact answer for the traced
+        # prefix — still byte-comparable with a cold answer file
+        # (reference_bytes uses the same default seed).
+        assert body == reference_bytes("cornell-box", traced, tmp_path)
+
+    def test_query_param_overrides_body(self, amortized):
+        status, headers, _ = amortized.request(
+            "POST",
+            simulate_path("cornell-box") + "?target_error=0.5",
+            {"photons": 400_000, "target_error": 1e-12},
+        )
+        assert status == 200
+        # The body's unreachable target would have traced everything;
+        # the query's 0.5 stops early.
+        assert int(headers["x-repro-photons-traced"]) < 400_000
+
+    def test_no_early_stop_no_headers(self, amortized):
+        status, headers, _ = amortized.request(
+            "POST", simulate_path("cornell-box"), {"photons": 50}
+        )
+        assert status == 200
+        assert "x-repro-photons-traced" not in headers
+
+    @pytest.mark.parametrize("bad", [0, -0.5, "soon"])
+    def test_invalid_target_is_400(self, amortized, bad):
+        status, _, _ = amortized.request(
+            "POST",
+            simulate_path("cornell-box"),
+            {"photons": 100, "target_error": bad},
+        )
+        assert status == 400
+
+
+class TestRenderEndpoint:
+    def test_ppm_bytes_deterministic(self, amortized):
+        body_spec = {"photons": 60, "width": 16, "height": 12, "seed": 3}
+        status, headers, first = amortized.request(
+            "POST", "/scenes/cornell-box/render", body_spec
+        )
+        assert status == 200
+        assert headers["content-type"] == "image/x-portable-pixmap"
+        assert first.startswith(b"P6\n16 12\n255\n")
+        assert len(first) == len(b"P6\n16 12\n255\n") + 16 * 12 * 3
+        status, _, again = amortized.request(
+            "POST", "/scenes/cornell-box/render", body_spec
+        )
+        assert status == 200
+        assert again == first
+
+    def test_camera_change_is_a_camera_only_hit(self, amortized):
+        base = {"photons": 70, "seed": 11, "width": 16, "height": 12}
+        amortized.request("POST", "/scenes/cornell-box/render", base)
+        before = service_stats(amortized)["amortize"]
+        status, _, _ = amortized.request(
+            "POST",
+            "/scenes/cornell-box/render",
+            {**base, "eye": [0.1, 0.5, 2.5], "fov": 40},
+        )
+        assert status == 200
+        after = service_stats(amortized)["amortize"]
+        assert after["camera_only_hits"] > before["camera_only_hits"]
+
+    def test_unknown_field_is_400(self, amortized):
+        status, _, _ = amortized.request(
+            "POST", "/scenes/cornell-box/render", {"photons": 10, "lens": 1}
+        )
+        assert status == 400
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"width": 0},
+            {"height": 100_000},
+            {"fov": 200},
+            {"eye": [1, 2]},
+            {"look_at": "home"},
+        ],
+    )
+    def test_bad_camera_is_400(self, amortized, bad):
+        status, _, _ = amortized.request(
+            "POST", "/scenes/cornell-box/render", {"photons": 10, **bad}
+        )
+        assert status == 400
+
+    def test_get_render_is_405(self, amortized):
+        status, _, _ = amortized.request(
+            "GET", "/scenes/cornell-box/render"
+        )
+        assert status == 405

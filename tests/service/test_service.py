@@ -219,7 +219,9 @@ class TestRouting:
         status, _, body = service.request("GET", "/stats")
         stats = json.loads(body)
         assert status == 200
-        assert set(stats) == {"status", "programs", "scenes", "requests"}
+        assert set(stats) == {
+            "status", "programs", "scenes", "amortize", "requests"
+        }
         assert stats["programs"]["max_programs"] == 4
 
 
